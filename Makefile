@@ -1,0 +1,24 @@
+PYTHON ?= python
+
+.PHONY: install test bench bench-tables examples docs all
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Print every figure/table the benches regenerate (no timing).
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/ -q -s --benchmark-disable
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; done
+
+docs:
+	$(PYTHON) docs/gen_api.py
+
+all: install test bench

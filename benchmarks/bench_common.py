@@ -1,0 +1,121 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures on a
+scaled-down simulated host: the *shape* of each result (who wins, rough
+factors, crossovers) is asserted; absolute values are printed for
+EXPERIMENTS.md.
+
+Scaling conventions (see DESIGN.md):
+
+* hosts are 4-8 GB with 1-2 MiB pages instead of 64 GB/4 KiB — all
+  rates are per-byte so shapes are granularity-independent;
+* workload footprints are scaled by ``size_scale``;
+* simulated durations are tens of minutes instead of the paper's hours
+  or days; Senpai's reaction time scales with its period, which we keep
+  at the production 6 s.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.reporting import format_table
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.sim.host import Host, HostConfig
+from repro.workloads.apps import APP_CATALOG, AppProfile
+from repro.workloads.base import Workload
+from repro.workloads.tax import TAX_PROFILES, TaxWorkload
+from repro.workloads.web import WebConfig, WebWorkload
+
+MB = 1 << 20
+GB = 1 << 30
+
+#: Default bench host: 4 GB, 1 MiB pages (4096 pages), 16 CPUs.
+BENCH_RAM_GB = 4.0
+BENCH_PAGE = 1 * MB
+BENCH_NCPU = 16
+BENCH_SEED = 20260704
+
+#: Footprint scale for production profiles on the bench host.
+BENCH_SCALE = 0.05
+
+
+def bench_host(
+    backend: Optional[str] = "zswap",
+    ram_gb: float = BENCH_RAM_GB,
+    seed: int = BENCH_SEED,
+    tick_s: float = 1.0,
+    **overrides,
+) -> Host:
+    """Construct the standard benchmark host."""
+    config = HostConfig(
+        ram_gb=ram_gb,
+        ncpu=BENCH_NCPU,
+        page_size=BENCH_PAGE,
+        seed=seed,
+        backend=backend,
+        tick_s=tick_s,
+        **overrides,
+    )
+    return Host(config)
+
+
+def add_app(
+    host: Host,
+    app: str,
+    name: str = "app",
+    size_scale: float = BENCH_SCALE,
+    web_config: Optional[WebConfig] = None,
+) -> Workload:
+    """Attach a catalog application to a host."""
+    profile = APP_CATALOG[app]
+    if app == "Web":
+        return host.add_workload(
+            WebWorkload, name=name, size_scale=size_scale,
+            config=web_config or WebConfig(),
+        )
+    return host.add_workload(
+        Workload, profile=profile, name=name, size_scale=size_scale
+    )
+
+
+def preloaded(profile: AppProfile) -> AppProfile:
+    """A copy of ``profile`` with its file set preloaded into the page
+    cache — used by the characterisation benches (Figures 3/4), which
+    measure *allocated* memory: in production, an app's file-backed
+    memory sits in the page cache whether or not it was recently read."""
+    import dataclasses
+
+    return dataclasses.replace(profile, file_preload=True)
+
+
+def add_taxes(host: Host, size_scale_ram: Optional[float] = None) -> None:
+    """Attach both tax sidecars, scaled to the host's RAM."""
+    scale = (
+        size_scale_ram
+        if size_scale_ram is not None
+        else host.config.ram_bytes / (64.0 * GB)
+    )
+    for kind in TAX_PROFILES:
+        slug = kind.lower().replace(" ", "-")
+        host.add_workload(TaxWorkload, name=slug, kind=kind,
+                          size_scale=scale)
+
+
+def add_senpai(host: Host, config: Optional[SenpaiConfig] = None) -> Senpai:
+    return host.add_controller(Senpai(config or SenpaiConfig()))
+
+
+def print_figure(title: str, headers, rows) -> None:
+    """Emit one figure's table to stdout (captured by pytest -s)."""
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def run_measured(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value.
+
+    The experiments are long deterministic simulations; timing them once
+    is enough and re-running them per benchmarking round would be waste.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

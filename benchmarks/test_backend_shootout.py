@@ -1,0 +1,135 @@
+"""Backend shootout: one workload, every offload tier.
+
+Sections 2.5 and 5.2 frame the heterogeneity problem: offload backends
+span three orders of magnitude of fault latency (CXL ~0.4 us/4 KiB,
+NVM ~2 us, zswap ~30 us, SSDs 0.1-4 ms). This bench replays the *same*
+recorded access trace against each backend under identical Senpai
+reclaim and compares the stall bill per offloaded byte.
+
+Shape: the stall-per-GB ranking follows the device latency ranking
+(CXL < NVM < zswap << fast SSD < slow SSD), while fault *counts* stay
+identical across tiers — the trace pins the accesses, so the entire
+difference is the device.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.apps import APP_CATALOG
+from repro.workloads.trace import RecordingWorkload, ReplayWorkload
+
+from bench_common import BENCH_SEED, bench_host, print_figure
+
+MB = 1 << 20
+N_TICKS = 600
+TICK_S = 2.0
+
+#: Incompressible-ish data so zswap gets no free ride from ratio.
+PROFILE = dataclasses.replace(
+    APP_CATALOG["ML"], cold_never_share=0.10,
+)
+
+BACKENDS = (
+    ("cxl", {}),
+    ("nvm", {}),
+    ("zswap", {}),
+    ("ssd-C", {"backend": "ssd", "ssd_model": "C"}),
+    ("ssd-B", {"backend": "ssd", "ssd_model": "B"}),
+)
+
+RECLAIM_EVERY_TICKS = 3
+RECLAIM_STEP_MB = 8
+
+
+def record_trace():
+    host = bench_host(backend=None, tick_s=TICK_S)
+    host.mm.create_cgroup("app", compressibility=PROFILE.compress_ratio)
+    recorder = RecordingWorkload(
+        host.mm, PROFILE, "app", seed=BENCH_SEED
+    )
+    recorder.start(0.0, size_scale=0.05)
+    for i in range(N_TICKS):
+        recorder.tick(i * TICK_S, TICK_S)
+    return recorder.trace
+
+
+def run_backend(trace, label, overrides):
+    config = dict(backend=label) if not overrides else dict(overrides)
+    host = bench_host(tick_s=TICK_S, **config)
+    host.mm.create_cgroup("app", compressibility=PROFILE.compress_ratio)
+    replayer = ReplayWorkload(host.mm, trace, "app")
+    replayer.start(0.0)
+    host.psi.add_group("app")
+    stall_s = 0.0
+    for i in range(N_TICKS):
+        now = i * TICK_S
+        tick = replayer.tick(now, TICK_S)
+        stall_s += tick.total_stall_s
+        # Identical, deterministic reclaim cadence on every backend.
+        if i % RECLAIM_EVERY_TICKS == 0:
+            host.mm.memory_reclaim("app", RECLAIM_STEP_MB * MB, now)
+        host.mm.on_tick(now + TICK_S, TICK_S)
+    cg = host.mm.cgroup("app")
+    backend = host.swap_backend
+    # Anon-fault stall only (backend reads), excluding the filesystem
+    # reads that are identical across tiers.
+    anon_stall_s = backend.stats.read_stall_seconds
+    if hasattr(backend, "zswap"):  # tiered: sum the tiers
+        anon_stall_s = (
+            backend.zswap.stats.read_stall_seconds
+            + backend.ssd.stats.read_stall_seconds
+        )
+    return {
+        "offloaded_mb": cg.offloaded_bytes() / MB,
+        "stall_s": stall_s,
+        "anon_stall_s": anon_stall_s,
+        "swapins": cg.vmstat.pswpin,
+        "stall_ms_per_swapin": (
+            1e3 * anon_stall_s / cg.vmstat.pswpin
+            if cg.vmstat.pswpin else 0.0
+        ),
+        "dropped": replayer.dropped_touches,
+    }
+
+
+def run_experiment():
+    trace = record_trace()
+    return {
+        label: run_backend(trace, label, overrides)
+        for label, overrides in BACKENDS
+    }
+
+
+def test_backend_shootout(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            label,
+            r["offloaded_mb"],
+            r["swapins"],
+            r["stall_s"],
+            r["stall_ms_per_swapin"],
+        )
+        for label, r in results.items()
+    ]
+    print_figure(
+        "Backend shootout — identical trace, identical reclaim",
+        ["backend", "offloaded (MB)", "swap-ins", "stall (s)",
+         "stall ms/swap-in"],
+        rows,
+    )
+
+    # The trace pinned the workload: every tier replays cleanly and
+    # faults the same pages back the same number of times.
+    swapin_counts = {r["swapins"] for r in results.values()}
+    for r in results.values():
+        assert r["dropped"] == 0
+    assert max(swapin_counts) - min(swapin_counts) <= max(swapin_counts) * 0.05
+
+    # Stall cost ranking follows device latency (Figure 5 + §5.2).
+    stall = {label: r["stall_ms_per_swapin"] for label, r in results.items()}
+    assert stall["cxl"] < stall["nvm"] < stall["zswap"]
+    assert stall["zswap"] < stall["ssd-C"] < stall["ssd-B"]
+    # Two-plus orders of magnitude between the extremes.
+    assert stall["ssd-B"] / max(1e-9, stall["cxl"]) > 100

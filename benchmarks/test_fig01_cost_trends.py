@@ -1,0 +1,42 @@
+"""Figure 1: cost of memory, compressed memory and SSD across HW
+generations, as a percentage of compute infrastructure.
+
+Shape to reproduce: DRAM climbs toward 33% of server cost; compressed
+memory is ~1/3 of that (3x ratio); iso-capacity SSD stays under 1%
+(~10x cheaper per byte than compressed memory).
+"""
+
+from repro.analysis.costs import COST_TRENDS, cost_table
+
+from bench_common import print_figure
+
+
+def build_table():
+    return cost_table(ratio=3.0)
+
+
+def test_fig01_cost_trends(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print_figure(
+        "Figure 1 — cost as % of compute infrastructure",
+        ["gen", "memory %", "compressed %", "ssd iso-capacity %"],
+        rows,
+    )
+
+    memory = [r[1] for r in rows]
+    compressed = [r[2] for r in rows]
+    ssd = [r[3] for r in rows]
+
+    # DRAM cost grows monotonically and reaches 33%.
+    assert memory == sorted(memory)
+    assert abs(memory[-1] - 33.0) < 1e-9
+    # Compressed memory = memory / 3.
+    for m, c in zip(memory, compressed):
+        assert abs(c - m / 3.0) < 1e-9
+    # SSD iso-capacity stays under 1% in every generation and is ~10x
+    # cheaper than compressed memory.
+    for c, s in zip(compressed, ssd):
+        assert s < 1.0
+        assert c / s > 5.0
+    # DRAM power trend reaches 38%.
+    assert abs(COST_TRENDS[-1].memory_power_pct - 38.0) < 1e-9

@@ -1,0 +1,73 @@
+"""Figure 3: datacenter and microservice memory tax.
+
+Shape to reproduce: the taxes average 20% of total server memory —
+13% datacenter tax (uniform across workloads) + 7% microservice tax.
+"""
+
+import pytest
+
+from repro.workloads.tax import (
+    DATACENTER_TAX_FRAC,
+    MICROSERVICE_TAX_FRAC,
+    TAX_PROFILES,
+)
+
+from repro.workloads.base import Workload
+
+from bench_common import add_app, bench_host, preloaded, print_figure
+
+DURATION_S = 300.0
+GB = 1 << 30
+
+
+def run_experiment():
+    """Measure actual tax footprints on a host running a real app."""
+    host = bench_host(backend=None)
+    add_app(host, "Feed", size_scale=0.04)
+    # Preload the tax file sets: Figure 3 characterises allocated
+    # memory, which includes page cache the sidecars populated.
+    tax_scale = host.config.ram_bytes / (64.0 * GB)
+    for kind, profile in TAX_PROFILES.items():
+        slug = kind.lower().replace(" ", "-")
+        host.add_workload(
+            Workload, profile=preloaded(profile), name=slug,
+            size_scale=tax_scale,
+        )
+    host.run(DURATION_S)
+    ram = host.config.ram_bytes
+
+    def frac(name: str) -> float:
+        cg = host.mm.cgroup(name)
+        return (cg.resident_bytes + cg.offloaded_bytes()) / ram
+
+    return {
+        "Datacenter Tax": frac("datacenter-tax"),
+        "Microservice Tax": frac("microservice-tax"),
+    }
+
+
+def test_fig03_memory_tax(benchmark):
+    measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    total = sum(measured.values())
+    rows = [
+        (kind, 100 * value) for kind, value in measured.items()
+    ] + [("Total", 100 * total)]
+    print_figure(
+        "Figure 3 — memory tax (% of server memory)",
+        ["component", "memory %"],
+        rows,
+    )
+
+    # Declared fractions match the paper exactly.
+    assert DATACENTER_TAX_FRAC == pytest.approx(0.13)
+    assert MICROSERVICE_TAX_FRAC == pytest.approx(0.07)
+    # Measured footprints track the declared fractions. The microservice
+    # tax loads part of its file set lazily, so allow downward slack.
+    assert measured["Datacenter Tax"] == pytest.approx(0.13, abs=0.04)
+    assert measured["Microservice Tax"] == pytest.approx(0.07, abs=0.03)
+    assert total == pytest.approx(0.20, abs=0.05)
+    # Datacenter tax is the larger component.
+    assert measured["Datacenter Tax"] > measured["Microservice Tax"]
+    # Tax SLOs are relaxed: both profiles are colder than typical apps.
+    for profile in TAX_PROFILES.values():
+        assert profile.bands.cold >= 0.45

@@ -1,0 +1,71 @@
+"""Figure 5: SSD characteristics across the fleet's device types A-G.
+
+Shape to reproduce: endurance improves over generations but stays a
+limited resource; IOPS is relatively stable; read/write latency varies
+hugely — p99 read from 9.3 ms (oldest) down to 470 us (newest).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.base import IoKind
+from repro.backends.ssd import SSD_CATALOG, make_ssd_device
+
+from bench_common import print_figure
+
+SAMPLES = 3000
+
+
+def measure_device(model: str):
+    """Sample an uncontended device's read-latency distribution."""
+    device = make_ssd_device(model, np.random.default_rng(1))
+    lats = np.array(
+        [device.issue(IoKind.READ) for _ in range(SAMPLES)]
+    )
+    return {
+        "p50_us": float(np.percentile(lats, 50) * 1e6),
+        "p99_us": float(np.percentile(lats, 99) * 1e6),
+    }
+
+
+def run_experiment():
+    return {model: measure_device(model) for model in sorted(SSD_CATALOG)}
+
+
+def test_fig05_ssd_catalog(benchmark):
+    measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            model,
+            SSD_CATALOG[model].endurance_pbw,
+            SSD_CATALOG[model].read_iops / 1e3,
+            SSD_CATALOG[model].read_p99_us,
+            measured[model]["p99_us"],
+        )
+        for model in sorted(SSD_CATALOG)
+    ]
+    print_figure(
+        "Figure 5 — SSD characteristics",
+        ["device", "endurance (PBW)", "read kIOPS",
+         "rated p99 (us)", "measured p99 (us)"],
+        rows,
+    )
+
+    # Endurance grows with generation (but remains finite/limited).
+    endurance = [SSD_CATALOG[m].endurance_pbw for m in sorted(SSD_CATALOG)]
+    assert endurance == sorted(endurance)
+    # Latency range spans the paper's 9.3 ms .. 470 us.
+    assert SSD_CATALOG["A"].read_p99_us / SSD_CATALOG["G"].read_p99_us > 15
+    # IOPS stays within one order of magnitude across generations.
+    iops = [SSD_CATALOG[m].read_iops for m in sorted(SSD_CATALOG)]
+    assert max(iops) / min(iops) < 10
+    # The sampled latency model hits its rated p99 within tolerance.
+    for model in sorted(SSD_CATALOG):
+        assert measured[model]["p99_us"] == pytest.approx(
+            SSD_CATALOG[model].read_p99_us, rel=0.30
+        ), model
+    # Figure 12's device pairing: C ("fast") is much faster than B
+    # ("slow").
+    assert (
+        measured["B"]["p99_us"] / measured["C"]["p99_us"] > 2.0
+    )

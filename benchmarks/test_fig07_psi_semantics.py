@@ -1,0 +1,101 @@
+"""Figure 7: the kernel's some/full pressure accounting semantics.
+
+Shape to reproduce: the paper's worked two-process example — quarter 1
+accrues 12.5% some from disjoint stalls; quarter 2 accrues 6.25% full
+(both stalled) plus 18.75% some-only; totals over the normalised
+timeline follow exactly.
+
+Also benchmarks the PSI engine's transition throughput, since the
+paper's stated cost of PSI is scheduling-path bookkeeping.
+"""
+
+import pytest
+
+from repro.psi.group import FULL, SOME
+from repro.psi.tracker import PsiSystem
+from repro.psi.types import Resource, TaskFlags
+
+from bench_common import print_figure
+
+RUN = TaskFlags.RUNNING
+MEM = TaskFlags.MEMSTALL
+
+T = 100.0
+
+
+def schedule():
+    events = [(0.0, "A", RUN), (0.0, "B", RUN)]
+    events += [(5.0, "A", MEM), (11.25, "A", RUN)]
+    events += [(15.0, "B", MEM), (21.25, "B", RUN)]
+    events += [(25.0, "B", MEM)]
+    events += [(35.0, "A", MEM), (41.25, "A", RUN)]
+    events += [(50.0, "B", RUN)]
+    events += [(60.0, "A", MEM), (60.0, "B", MEM)]
+    events += [(66.25, "A", RUN), (66.25, "B", RUN)]
+    events += [(80.0, "A", MEM), (92.5, "A", RUN)]
+    return sorted(events, key=lambda e: e[0])
+
+
+def run_experiment():
+    psi = PsiSystem(ncpu=2)
+    psi.add_group("domain")
+    tasks = {
+        "A": psi.add_task("A", "domain"),
+        "B": psi.add_task("B", "domain"),
+    }
+    group = psi.group("domain")
+    quarters = []
+    prev = (0.0, 0.0)
+    events = schedule()
+    i = 0
+    for boundary in (25.0, 50.0, 75.0, 100.0):
+        while i < len(events) and events[i][0] < boundary:
+            when, name, flags = events[i]
+            tasks[name].set_flags(flags, when)
+            i += 1
+        group.tick(boundary)
+        some = group.total(Resource.MEMORY, SOME)
+        full = group.total(Resource.MEMORY, FULL)
+        quarters.append((some - prev[0], full - prev[1]))
+        prev = (some, full)
+    return quarters, prev
+
+
+def engine_throughput():
+    """Raw PSI transition processing (the benchmarked kernel-path cost)."""
+    psi = PsiSystem(ncpu=8)
+    psi.add_group("g")
+    tasks = [psi.add_task(f"t{i}", "g") for i in range(8)]
+    now = 0.0
+    for step in range(2000):
+        task = tasks[step % 8]
+        flags = MEM if step % 2 == 0 else RUN
+        now += 0.001
+        task.set_flags(flags, now)
+    return psi.some_total("g", Resource.MEMORY)
+
+
+def test_fig07_psi_semantics(benchmark):
+    quarters, (total_some, total_full) = run_experiment()
+    benchmark(engine_throughput)
+
+    rows = [
+        (f"Q{i + 1}", some, full, some - full)
+        for i, (some, full) in enumerate(quarters)
+    ] + [("Total", total_some, total_full, total_some - total_full)]
+    print_figure(
+        "Figure 7 — some/full accounting over the worked example "
+        "(% of timeline)",
+        ["quarter", "some", "full", "some-only"],
+        rows,
+    )
+
+    q1, q2, q3, q4 = quarters
+    assert q1 == (pytest.approx(12.5), pytest.approx(0.0))
+    assert q2[1] == pytest.approx(6.25)       # full
+    assert q2[0] - q2[1] == pytest.approx(18.75)  # "in addition" some
+    assert q3 == (pytest.approx(6.25), pytest.approx(6.25))
+    assert q4 == (pytest.approx(12.5), pytest.approx(0.0))
+    assert total_some == pytest.approx(56.25)
+    assert total_full == pytest.approx(12.5)
+    assert total_some >= total_full

@@ -1,0 +1,83 @@
+"""Figure 9: memory savings across eight applications, by backend.
+
+Shape to reproduce: every app saves a meaningful share of its resident
+memory (paper: 7-12% with compressed memory, 10-19% with SSD); the
+savings split across anonymous and file-backed memory; and for
+poorly-compressible apps (ML, Ads B — quantised byte-encoded model
+values at ~1.35x) SSD offloading beats zswap, which is why they run
+on the SSD backend in production.
+"""
+
+import pytest
+
+from repro.core.fleet import cgroup_memory_savings
+from repro.workloads.apps import APP_CATALOG, FIG9_APPS
+
+from bench_common import add_app, add_senpai, bench_host, print_figure
+from repro.core.senpai import SenpaiConfig
+
+DURATION_S = 5400.0
+
+#: The production configuration (Section 3.3): reclaim_ratio 0.0005,
+#: PSI threshold 0.1%, 6 s period. An hour and a half of simulated
+#: time reaches the savings plateau the paper measures over days.
+CONFIG = SenpaiConfig()
+
+
+def run_app(app: str, backend: str):
+    host = bench_host(backend=backend, tick_s=2.0)
+    add_app(host, app, size_scale=0.05)
+    add_senpai(host, CONFIG)
+    host.run(DURATION_S)
+    return cgroup_memory_savings(host.mm, "app")
+
+
+def run_experiment():
+    results = {}
+    for app in FIG9_APPS:
+        backend = APP_CATALOG[app].preferred_backend
+        results[app] = (backend, run_app(app, backend))
+    # Crossover check: ML under zswap, despite its 1.35x ratio.
+    results["ML (zswap)"] = ("zswap", run_app("ML", "zswap"))
+    return results
+
+
+def test_fig09_app_savings(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            app,
+            backend,
+            100 * stats["savings_frac"],
+            100 * stats["saved_anon_bytes"] / stats["baseline_bytes"],
+            100 * stats["saved_file_bytes"] / stats["baseline_bytes"],
+        )
+        for app, (backend, stats) in results.items()
+    ]
+    print_figure(
+        "Figure 9 — memory savings normalised to resident size (%)",
+        ["app", "backend", "total", "anon", "file"],
+        rows,
+    )
+
+    for app in FIG9_APPS:
+        backend, stats = results[app]
+        # Meaningful savings for every app, in the paper's 7-19%
+        # neighbourhood (generous tolerance for the simulated substrate).
+        assert 0.04 < stats["savings_frac"] < 0.35, app
+    # Savings come from both categories across the fleet.
+    total_anon = sum(s["saved_anon_bytes"] for _, s in results.values())
+    total_file = sum(s["saved_file_bytes"] for _, s in results.values())
+    assert total_anon > 0 and total_file > 0
+
+    # The backend-choice crossover: for quantised ML data, zswap's
+    # pool overhead eats most of the per-page saving, so SSD wins
+    # by a wide margin.
+    ml_ssd = results["ML"][1]["savings_frac"]
+    ml_zswap = results["ML (zswap)"][1]["savings_frac"]
+    assert ml_ssd > 1.5 * ml_zswap
+
+    # Web reaches ~20% savings (Section 4.2's capacity-saving claim).
+    assert results["Web"][1]["savings_frac"] == pytest.approx(
+        0.20, abs=0.08
+    )

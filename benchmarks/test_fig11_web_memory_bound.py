@@ -1,0 +1,109 @@
+"""Figure 11: Web on memory-bound hosts — RPS recovery and memory
+savings across three phases (offloading disabled / SSD / zswap).
+
+Shape to reproduce: the baseline tier self-regulates as it approaches
+its memory limit, losing >20% RPS over a couple of hours; once TMO is
+enabled, resident memory drops and the RPS decline is eliminated.
+Because Web's data compresses 4x and Web is sensitive to memory-access
+slowdown, the compressed-memory backend saves substantially more of
+Web's memory (~13% at peak) than the SSD backend (~4%).
+
+The paper runs one tier through three phases; we run three identically
+seeded tiers, one per phase, which is equivalent for an A/B comparison
+on a deterministic simulator.
+"""
+
+import pytest
+
+from repro.core.senpai import SenpaiConfig
+from repro.workloads.web import WebConfig
+
+from bench_common import add_app, add_senpai, bench_host, print_figure
+
+DURATION_S = 7200.0  # two hours per tier
+MB = 1 << 20
+
+#: Sized so the host starts ~80% full and request-driven growth pushes
+#: it into the self-regulation regime within the run.
+WEB_SCALE = 0.066
+WEB_CONFIG = WebConfig(anon_growth_frac_per_hour=0.35)
+
+SENPAI = SenpaiConfig(reclaim_ratio=0.002, max_step_frac=0.02)
+
+
+def run_tier(backend):
+    host = bench_host(backend=backend, tick_s=2.0)
+    add_app(host, "Web", size_scale=WEB_SCALE, web_config=WEB_CONFIG)
+    if backend is not None:
+        add_senpai(host, SENPAI)
+    host.run(DURATION_S)
+    rps = host.metrics.series("app/rps")
+    resident = host.metrics.series("app/resident_bytes")
+    cg = host.mm.cgroup("app")
+    return {
+        "rps_start": rps.window(0, 1200).mean(),
+        "rps_end": rps.window(DURATION_S - 1200, DURATION_S).mean(),
+        "resident_end": resident.window(
+            DURATION_S - 1200, DURATION_S
+        ).mean(),
+        "offloaded": cg.offloaded_bytes(),
+        "saved": (
+            cg.swap_bytes
+            + max(0, cg.zswap_bytes - host.mm.zswap_pool_bytes)
+            + len(cg.shadow) * host.mm.page_size
+        ),
+        "baseline_footprint": cg.resident_bytes + cg.offloaded_bytes(),
+    }
+
+
+def run_experiment():
+    return {
+        "baseline": run_tier(None),
+        "TMO/ssd": run_tier("ssd"),
+        "TMO/zswap": run_tier("zswap"),
+    }
+
+
+def test_fig11_web_memory_bound(benchmark):
+    tiers = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            t["rps_start"],
+            t["rps_end"],
+            100 * (t["rps_end"] / t["rps_start"] - 1.0),
+            t["resident_end"] / MB,
+            100 * t["saved"] / t["baseline_footprint"],
+        )
+        for name, t in tiers.items()
+    ]
+    print_figure(
+        "Figure 11 — Web on memory-bound hosts",
+        ["tier", "RPS (first 20m)", "RPS (last 20m)", "RPS delta %",
+         "resident (MB)", "memory saved %"],
+        rows,
+    )
+
+    base, ssd, zswap = tiers["baseline"], tiers["TMO/ssd"], tiers["TMO/zswap"]
+
+    # Baseline: the memory-bound decline (paper: can exceed 20%).
+    base_drop = 1.0 - base["rps_end"] / base["rps_start"]
+    assert base_drop > 0.10
+
+    # TMO eliminates (almost all of) the decline on both backends.
+    for tier in (ssd, zswap):
+        drop = 1.0 - tier["rps_end"] / tier["rps_start"]
+        assert drop < base_drop / 2
+        assert tier["rps_end"] > base["rps_end"] * 1.05
+
+    # TMO offloads a significant fraction of system memory.
+    for tier in (ssd, zswap):
+        assert tier["resident_end"] < 0.95 * base["resident_end"]
+        assert tier["offloaded"] > 0
+
+    # Figure 11(b) plots normalised *resident* memory: the compressed
+    # backend drives Web's resident size further down than the SSD
+    # backend (the paper's ~13% vs ~4% peak saving) — Web's 4x
+    # compressibility and its sensitivity to the slower per-fault cost
+    # of the SSD both point the same way.
+    assert zswap["resident_end"] < ssd["resident_end"]

@@ -1,0 +1,74 @@
+"""Section 4.1's headline: fleet-wide savings of 20-32% of total memory.
+
+TMO saves 7-19% of resident memory per application plus ~13% of server
+memory from the taxes. This bench runs a small, seeded fleet over a mix
+of applications (each on its production backend, with both tax sidecars
+and the production Senpai config) and aggregates per-server savings.
+"""
+
+import pytest
+
+from repro.core.fleet import Fleet, HostPlan
+from repro.core.senpai import SenpaiConfig
+from repro.sim.host import HostConfig
+
+from bench_common import BENCH_NCPU, BENCH_PAGE, BENCH_SEED, print_figure
+
+DURATION_S = 5400.0
+
+APPS = ["Feed", "Web", "Cache B", "Ads B", "ML"]
+
+
+def run_experiment():
+    fleet = Fleet(
+        base_config=HostConfig(
+            ram_gb=4.0, ncpu=BENCH_NCPU, page_size=BENCH_PAGE,
+            tick_s=2.0,
+        ),
+        seed=BENCH_SEED,
+    )
+    plans = [
+        HostPlan(app=app, count=1, size_scale=0.035,
+                 senpai=SenpaiConfig())
+        for app in APPS
+    ]
+    return fleet.run(plans, duration_s=DURATION_S)
+
+
+def test_fleet_savings(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            r.app,
+            r.backend,
+            100 * r.app_savings_frac,
+            100 * r.tax_savings_frac_of_ram,
+            100 * r.total_savings_frac_of_ram,
+        )
+        for r in result.reports
+    ]
+    rows.append(
+        (
+            "Fleet",
+            "-",
+            100 * sum(r.app_savings_frac for r in result.reports)
+            / len(result.reports),
+            100 * result.tax_savings_of_ram(),
+            100 * result.total_savings_of_ram(),
+        )
+    )
+    print_figure(
+        "Section 4.1 — fleet savings",
+        ["app", "backend", "app savings %", "tax savings (of RAM) %",
+         "total (of RAM) %"],
+        rows,
+    )
+
+    # Per-app savings land in the paper's 7-19% neighbourhood.
+    for report in result.reports:
+        assert 0.04 < report.app_savings_frac < 0.35, report.app
+    # Tax savings contribute a meaningful extra share of server memory
+    # (paper: ~13%).
+    assert 0.04 < result.tax_savings_of_ram() < 0.20
+    # Fleet total: the paper's 20-32% band, with simulation tolerance.
+    assert 0.12 < result.total_savings_of_ram() < 0.40

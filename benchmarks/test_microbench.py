@@ -1,0 +1,139 @@
+"""Microbenchmarks of the substrate's hot paths.
+
+Not a paper figure — these time the primitives every experiment leans
+on, so performance regressions in the simulator itself are visible.
+The paper-relevant one is the PSI transition cost: Section 3.2.2 notes
+PSI's only cost is scheduling-path bookkeeping and that it is
+negligible; here that path is ~microseconds per transition in pure
+Python.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.base import IoKind
+from repro.backends.ssd import make_ssd_device
+from repro.backends.zswap import ZswapBackend
+from repro.kernel.lru import LruSet
+from repro.kernel.page import Page, PageKind
+from repro.kernel.shadow import ShadowMap
+from repro.backends.filesystem import FilesystemBackend
+from repro.kernel.mm import MemoryManager
+from repro.psi.tracker import PsiSystem
+from repro.psi.types import TaskFlags
+
+PAGE = 256 * 1024
+MB = 1 << 20
+
+
+def make_mm(ram_mb=256):
+    return MemoryManager(
+        ram_bytes=ram_mb * MB,
+        page_size=PAGE,
+        fs=FilesystemBackend("C", np.random.default_rng(42)),
+        swap_backend=ZswapBackend(np.random.default_rng(43)),
+    )
+
+
+def test_psi_transition_throughput(benchmark):
+    psi = PsiSystem(ncpu=8)
+    psi.add_group("g")
+    tasks = [psi.add_task(f"t{i}", "g") for i in range(8)]
+    state = {"now": 0.0}
+
+    def transitions():
+        now = state["now"]
+        for i, task in enumerate(tasks):
+            now += 1e-4
+            task.set_flags(
+                TaskFlags.MEMSTALL if i % 2 else TaskFlags.RUNNING, now
+            )
+        state["now"] = now
+
+    benchmark(transitions)
+
+
+def test_lru_touch_throughput(benchmark):
+    lruset = LruSet(PageKind.FILE, "g")
+    pages = [
+        Page(page_id=i, kind=PageKind.FILE, cgroup="g")
+        for i in range(4096)
+    ]
+    for page in pages:
+        lruset.insert_new(page)
+    rng = np.random.default_rng(0)
+    order = rng.integers(0, len(pages), size=512)
+
+    def touches():
+        for i in order:
+            lruset.touch(pages[i])
+
+    benchmark(touches)
+
+
+def test_reclaim_scan_throughput(benchmark):
+    mm = make_mm(ram_mb=1024)
+    mm.create_cgroup("app")
+    mm.alloc_anon("app", 2000, now=0.0)
+
+    def reclaim_and_restore():
+        outcome = mm.memory_reclaim("app", 64 * PAGE, now=1.0)
+        # Restore so each round reclaims from the same population.
+        for page in mm.pages("app"):
+            if not page.resident:
+                mm.touch(page, now=2.0)
+        return outcome
+
+    benchmark(reclaim_and_restore)
+
+
+def test_shadow_refault_check_throughput(benchmark):
+    shadow = ShadowMap()
+    for pid in range(10_000):
+        shadow.record_eviction(pid)
+
+    def checks():
+        for pid in range(0, 10_000, 16):
+            shadow.reuse_distance(pid)
+
+    benchmark(checks)
+
+
+def test_zswap_store_load_throughput(benchmark):
+    backend = ZswapBackend(np.random.default_rng(0))
+
+    def roundtrip():
+        for i in range(64):
+            backend.store(PAGE, 3.0, now=0.0, page_id=i)
+        for i in range(64):
+            backend.load(PAGE, 3.0, now=1.0, page_id=i)
+            backend.free(PAGE, 3.0, page_id=i)
+
+    benchmark(roundtrip)
+
+
+def test_device_issue_throughput(benchmark):
+    device = make_ssd_device("C", np.random.default_rng(0))
+
+    def issues():
+        for _ in range(256):
+            device.issue(IoKind.READ)
+        device.on_tick(0.0, dt=0.1)
+
+    benchmark(issues)
+
+
+def test_host_tick_throughput(benchmark):
+    """End-to-end cost of one simulated second on a bench-sized host."""
+    from repro.core.senpai import Senpai, SenpaiConfig
+    from repro.workloads.apps import APP_CATALOG
+    from repro.workloads.base import Workload
+
+    from bench_common import add_app, bench_host
+
+    host = bench_host(backend="zswap")
+    add_app(host, "Feed", size_scale=0.05)
+    host.add_controller(Senpai(SenpaiConfig()))
+    host.run(30.0)  # warm up
+
+    benchmark(host.step)

@@ -1,0 +1,96 @@
+"""Ablation (Section 3.4): TMO's refault-balanced reclaim vs the legacy
+file-skewed heuristics.
+
+Shape to reproduce: under the legacy balance, substantial portions of
+the file *working set* are reclaimed (and refault) before any cold
+anonymous page is considered; TMO's rewrite starts swapping as soon as
+refaults appear, which more evenly offloads both pools and minimises
+aggregate paging.
+"""
+
+import pytest
+
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+
+from bench_common import bench_host, print_figure
+from repro.workloads.base import Workload
+
+MB = 1 << 20
+GB = 1 << 30
+
+#: A hot file cache plus a lot of cold anon — the configuration where
+#: the legacy balance hurts most.
+PROFILE = AppProfile(
+    name="mixed",
+    size_gb=2800 * MB / GB,
+    anon_frac=0.55,
+    bands=HeatBands(0.45, 0.10, 0.10),
+    compress_ratio=3.0,
+    file_preload=True,
+    nthreads=4,
+    cpu_cores=2.0,
+)
+
+DURATION_S = 3600.0
+SENPAI = SenpaiConfig(reclaim_ratio=0.003, max_step_frac=0.03)
+
+
+def run_policy(policy: str):
+    host = bench_host(backend="zswap", ram_gb=4.0,
+                      reclaim_policy=policy, tick_s=2.0)
+    host.add_workload(Workload, profile=PROFILE, name="app")
+    host.add_controller(Senpai(SENPAI))
+    host.run(DURATION_S)
+    cg = host.mm.cgroup("app")
+    vm = cg.vmstat
+    return {
+        "refaults": vm.workingset_refault,
+        "swapins": vm.pswpin,
+        "swapouts": vm.pswpout,
+        "file_evictions": vm.workingset_evict,
+        "aggregate_paging": vm.workingset_refault + vm.pswpin,
+        "offloaded_mb": cg.offloaded_bytes() / MB,
+        "file_cache_mb": cg.file_bytes / MB,
+    }
+
+
+def run_experiment():
+    return {"tmo": run_policy("tmo"), "legacy": run_policy("legacy")}
+
+
+def test_reclaim_balance_ablation(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            r["refaults"],
+            r["swapins"],
+            r["swapouts"],
+            r["aggregate_paging"],
+            r["file_cache_mb"],
+        )
+        for name, r in results.items()
+    ]
+    print_figure(
+        "Section 3.4 ablation — reclaim balance",
+        ["policy", "refaults", "swap-ins", "swap-outs",
+         "aggregate paging", "file cache (MB)"],
+        rows,
+    )
+
+    tmo, legacy = results["tmo"], results["legacy"]
+
+    # Legacy skew: it swaps little-to-nothing while file cache remains,
+    # thrashing the file working set instead.
+    assert legacy["swapouts"] < 0.2 * tmo["swapouts"]
+    assert legacy["refaults"] > 1.5 * tmo["refaults"]
+    # TMO pages less in aggregate while offloading at least comparable
+    # volumes.
+    assert tmo["aggregate_paging"] < legacy["aggregate_paging"]
+    # TMO spreads reclaim across both pools: anon actually offloads.
+    assert tmo["swapouts"] > 0
+    assert tmo["offloaded_mb"] > 0
+    # TMO retains more of the file working set in cache.
+    assert tmo["file_cache_mb"] > legacy["file_cache_mb"]

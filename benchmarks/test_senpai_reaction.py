@@ -1,0 +1,113 @@
+"""Senpai's reaction-time asymmetry (Section 3.3).
+
+"The maximum is 1% of the total workload size in each reclaim period.
+As a result, reaction time to extreme contraction tends to be minutes.
+Adaptation to workload expansion, on the other hand, is immediate."
+
+Two scripted events on one host:
+
+* **contraction** — the workload's working set collapses (most of its
+  hot pages go cold); Senpai drains the newly-cold memory at its capped
+  step, taking minutes;
+* **expansion** — the workload allocates a large burst; the stateless
+  ``memory.reclaim`` knob imposes no ceiling, so the burst lands
+  without a single blocked allocation.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from bench_common import bench_host, print_figure
+
+MB = 1 << 20
+GB = 1 << 30
+
+PROFILE = AppProfile(
+    name="elastic",
+    size_gb=1.6,
+    anon_frac=0.7,
+    bands=HeatBands(0.55, 0.10, 0.10),  # mostly hot before contraction
+    compress_ratio=3.0,
+    nthreads=4,
+    cpu_cores=2.0,
+)
+
+#: Production-style config: 0.05%/period trickle, 1%/period cap.
+CONFIG = SenpaiConfig(reclaim_ratio=0.0005, max_step_frac=0.01)
+
+SETTLE_S = 1200.0
+WINDOW_S = 7200.0
+
+
+def run_experiment():
+    host = bench_host(backend="zswap", ram_gb=4.0, tick_s=2.0)
+    workload = host.add_workload(
+        Workload, profile=PROFILE, name="app", size_scale=1.0
+    )
+    host.add_controller(Senpai(CONFIG))
+    host.run(SETTLE_S)
+
+    # --- contraction: the hot working set collapses to cold.
+    cold = dataclasses.replace(
+        PROFILE, bands=HeatBands(0.10, 0.05, 0.05)
+    )
+    workload.profile = cold
+    workload.shift_workingset(1.0, host.clock.now)
+    resident_before = host.mm.cgroup("app").resident_bytes
+    t_contract = host.clock.now
+    drained_at = None
+    target = resident_before * 0.80  # "drained": 20% contraction
+    while host.clock.now < t_contract + WINDOW_S:
+        host.run(30.0)
+        if (drained_at is None
+                and host.mm.cgroup("app").resident_bytes <= target):
+            drained_at = host.clock.now
+    contraction_minutes = (
+        (drained_at - t_contract) / 60.0 if drained_at else float("inf")
+    )
+
+    # --- expansion: a 600 MB allocation burst in one tick.
+    direct_before = host.mm.cgroup("app").vmstat.direct_reclaim
+    burst_pages = int(600 * MB / host.mm.page_size)
+    from repro.workloads.base import TickResult
+
+    tick = TickResult(name="burst")
+    allocated = workload._allocate_more(
+        burst_pages, host.clock.now, tick
+    )
+    direct_after = host.mm.cgroup("app").vmstat.direct_reclaim
+
+    return {
+        "resident_before_mb": resident_before / MB,
+        "contraction_minutes": contraction_minutes,
+        "burst_pages": burst_pages,
+        "allocated_pages": allocated,
+        "burst_blocked": direct_after - direct_before,
+        "burst_oom": tick.oom,
+    }
+
+
+def test_senpai_reaction_times(benchmark):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        ("resident at contraction (MB)", r["resident_before_mb"]),
+        ("minutes to drain 20%", r["contraction_minutes"]),
+        ("expansion burst (pages)", r["burst_pages"]),
+        ("allocated immediately (pages)", r["allocated_pages"]),
+        ("blocked allocations", r["burst_blocked"]),
+    ]
+    print_figure("Section 3.3 — Senpai reaction times",
+                 ["metric", "value"], rows)
+
+    # Contraction: minutes-scale, not seconds, not hours.
+    assert 2.0 < r["contraction_minutes"] < 90.0
+    # Expansion: the whole burst lands at once, nothing blocks.
+    assert r["allocated_pages"] == r["burst_pages"]
+    assert r["burst_blocked"] == 0
+    assert not r["burst_oom"]

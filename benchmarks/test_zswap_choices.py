@@ -1,0 +1,101 @@
+"""Ablation (Section 5.1): zswap compression algorithm and allocator.
+
+The deployment experimented with lzo, lz4 and zstd, and with the
+Z3fold, Zbud and Zsmalloc pool allocators. Shape to reproduce: zstd
+gives the best compression ratio at acceptable overhead, and zsmalloc
+the densest pool — the production selection (zstd + zsmalloc) yields
+the largest net memory savings.
+"""
+
+import itertools
+
+import pytest
+
+from repro.backends.compression import COMPRESSION_ALGORITHMS
+from repro.backends.zswap import ZSWAP_ALLOCATORS
+from repro.core.fleet import cgroup_memory_savings
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.workloads.apps import APP_CATALOG
+from repro.workloads.base import Workload
+
+from bench_common import bench_host, print_figure
+
+MB = 1 << 20
+DURATION_S = 2400.0
+SENPAI = SenpaiConfig(reclaim_ratio=0.002, max_step_frac=0.02)
+
+
+def run_combo(algorithm: str, allocator: str):
+    host = bench_host(
+        backend="zswap",
+        zswap_algorithm=algorithm,
+        zswap_allocator=allocator,
+        tick_s=2.0,
+    )
+    host.add_workload(
+        Workload, profile=APP_CATALOG["Feed"], name="app",
+        size_scale=0.05,
+    )
+    host.add_controller(Senpai(SENPAI))
+    host.run(DURATION_S)
+    stats = cgroup_memory_savings(host.mm, "app")
+    backend = host.swap_backend
+    return {
+        "savings_frac": stats["savings_frac"],
+        "pool_mb": backend.pool_bytes / MB,
+        "logical_mb": backend.stored_bytes / MB,
+        "compress_cpu_s": backend.compress_cpu_seconds,
+    }
+
+
+def run_experiment():
+    combos = {}
+    for algorithm, allocator in itertools.product(
+        sorted(COMPRESSION_ALGORITHMS), sorted(ZSWAP_ALLOCATORS)
+    ):
+        combos[(algorithm, allocator)] = run_combo(algorithm, allocator)
+    return combos
+
+
+def test_zswap_choices_ablation(benchmark):
+    combos = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            algorithm,
+            allocator,
+            100 * r["savings_frac"],
+            r["pool_mb"],
+            r["logical_mb"],
+            r["compress_cpu_s"],
+        )
+        for (algorithm, allocator), r in combos.items()
+    ]
+    print_figure(
+        "Section 5.1 ablation — zswap algorithm x allocator",
+        ["algorithm", "allocator", "savings %", "pool (MB)",
+         "logical (MB)", "compress CPU (s)"],
+        rows,
+    )
+
+    # Production pick: zstd + zsmalloc maximises net savings.
+    best = max(combos, key=lambda k: combos[k]["savings_frac"])
+    assert best == ("zstd", "zsmalloc")
+
+    # Holding the allocator fixed, zstd packs the pool denser than the
+    # faster-but-weaker algorithms.
+    def density(algorithm):
+        r = combos[(algorithm, "zsmalloc")]
+        return r["logical_mb"] / max(1e-9, r["pool_mb"])
+
+    assert density("zstd") > density("lzo") > density("lz4")
+
+    # lz4 burns the least compression CPU — the overhead/ratio tradeoff
+    # the paper describes.
+    cpu = {a: combos[(a, "zsmalloc")]["compress_cpu_s"]
+           for a in COMPRESSION_ALGORITHMS}
+    assert cpu["lz4"] < cpu["lzo"] < cpu["zstd"]
+
+    # Holding zstd fixed, zsmalloc beats the bounded packers.
+    zstd = {alloc: combos[("zstd", alloc)]["savings_frac"]
+            for alloc in ZSWAP_ALLOCATORS}
+    assert zstd["zsmalloc"] >= zstd["z3fold"] >= zstd["zbud"] * 0.99

@@ -1,0 +1,107 @@
+"""Capacity planning with TMO's observability (Sections 3.3 and 5.1).
+
+Beyond savings, TMO's continuous mild pressure produces an accurate
+working-set profile: how much memory a container actually *needs*
+(versus what it has allocated). The paper's deployment used exactly
+this to right-size containers, and in one case to discover an
+application wasting 70% of its memory on file cache from repeatedly
+re-extracting a self-extracting binary.
+
+This example runs two containers — a healthy one, and a "wasteful" one
+whose file cache is written once and never re-read — under Senpai, then:
+
+1. derives each container's required-vs-allocated memory with the
+   WorkingSetProfiler;
+2. builds the file-cache miss-ratio curve from refault reuse distances;
+3. flags the wasteful container the way the deployment's observability
+   did: huge allocated footprint, tiny requirement, cold file cache.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import Host, HostConfig, Senpai, SenpaiConfig, Workload
+from repro.analysis import WorkingSetProfiler, miss_ratio_curve
+from repro.workloads import AppProfile
+from repro.workloads.access import HeatBands
+
+MB = 1 << 20
+GB = 1 << 30
+
+HEALTHY = AppProfile(
+    name="healthy-service",
+    size_gb=600 * MB / GB,
+    anon_frac=0.6,
+    bands=HeatBands(0.55, 0.10, 0.10),  # mostly hot
+    compress_ratio=3.0,
+    nthreads=2,
+    cpu_cores=1.0,
+)
+
+#: The self-extracting-binary pattern: a huge file set, written once,
+#: essentially never re-read — pure page-cache waste.
+WASTEFUL = AppProfile(
+    name="self-extractor",
+    size_gb=900 * MB / GB,
+    anon_frac=0.25,
+    bands=HeatBands(0.05, 0.02, 0.03),  # 90% cold
+    compress_ratio=3.0,
+    file_preload=True,
+    dirty_file_frac=0.3,
+    nthreads=2,
+    cpu_cores=1.0,
+    cold_never_share=0.9,
+)
+
+
+def main() -> None:
+    host = Host(HostConfig(ram_gb=2.0, page_size=1 * MB,
+                           backend="zswap", ncpu=8, seed=31))
+    host.add_workload(Workload, profile=HEALTHY, name="healthy")
+    host.add_workload(Workload, profile=WASTEFUL, name="wasteful")
+    host.add_controller(
+        Senpai(SenpaiConfig(reclaim_ratio=0.003, max_step_frac=0.02))
+    )
+
+    profilers = {
+        name: WorkingSetProfiler(pressure_target=1.0)
+        for name in ("healthy", "wasteful")
+    }
+
+    print("profiling 45 simulated minutes under Senpai ...\n")
+    end = 2700.0
+    while host.clock.now < end:
+        host.run(30.0)
+        for name, profiler in profilers.items():
+            profiler.record_from_host(host, name, host.clock.now)
+
+    print(f"{'container':>12} {'allocated':>12} {'required':>12} "
+          f"{'overprovisioned':>16}")
+    flagged = []
+    for name, profiler in profilers.items():
+        estimate = profiler.estimate()
+        cg = host.mm.cgroup(name)
+        allocated = cg.resident_bytes + cg.offloaded_bytes() + (
+            len(cg.shadow) * host.mm.page_size
+        )
+        print(f"{name:>12} {allocated / MB:>10.0f}MB "
+              f"{estimate.required_bytes / MB:>10.0f}MB "
+              f"{100 * (1 - estimate.required_bytes / allocated):>15.0f}%")
+        if estimate.required_bytes < 0.5 * allocated:
+            flagged.append(name)
+
+    print("\nfile-cache miss-ratio curve (wasteful container):")
+    curve = miss_ratio_curve(host.mm.cgroup("wasteful"))
+    for cache_pages, ratio in curve[:6]:
+        bar = "#" * int(40 * ratio)
+        print(f"  cache {cache_pages:>6} pages  miss {ratio:5.1%}  {bar}")
+    if not curve:
+        print("  (no refaults at all: the evicted file cache was never "
+              "re-read — the clearest waste signal there is)")
+
+    print(f"\nflagged for right-sizing: {flagged}")
+    print("the 'self-extractor' fix in the paper (extract ahead of "
+          "time) recovered 70% of that app's memory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Writing your own offloading controller.
+
+The host accepts any object with a ``poll(host, now)`` method, so new
+control policies are ~30 lines. This example builds a *PI controller*
+on the PSI error signal — instead of Senpai's formula (a proportional
+step with a hard pressure cutoff), it integrates the error between
+observed pressure and a setpoint and reclaims accordingly — then races
+it against stock Senpai on identical hosts with the A/B harness.
+
+Run:  python examples/custom_controller.py
+"""
+
+from repro import Host, HostConfig, Senpai, SenpaiConfig, Workload
+from repro.psi import Resource
+from repro.sim.ab import ABTest
+from repro.workloads import AppProfile
+from repro.workloads.access import HeatBands
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+class PiController:
+    """Proactive reclaim sized by a PI loop on PSI pressure."""
+
+    def __init__(self, setpoint=0.0005, kp=4e8, ki=4e7,
+                 interval_s=6.0, cgroup="app"):
+        self.setpoint = setpoint      # target pressure (frac of time)
+        self.kp, self.ki = kp, ki     # gains, in bytes per pressure-unit
+        self.interval_s = interval_s
+        self.cgroup = cgroup
+        self._integral = 0.0
+        self._last_total = None
+        self._next_poll = None
+
+    def poll(self, host, now):
+        if self._next_poll is None:
+            self._next_poll = now + self.interval_s
+            self._last_total = host.psi.some_total(
+                self.cgroup, Resource.MEMORY
+            )
+            return
+        if now < self._next_poll - 1e-9:
+            return
+        self._next_poll = now + self.interval_s
+
+        total = host.psi.some_total(self.cgroup, Resource.MEMORY)
+        pressure = (total - self._last_total) / self.interval_s
+        self._last_total = total
+
+        error = self.setpoint - pressure   # positive = headroom
+        self._integral = max(0.0, self._integral + error * self.interval_s)
+        step = int(self.kp * error + self.ki * self._integral)
+        if step > 0:
+            host.mm.memory_reclaim(self.cgroup, step, now)
+
+
+PROFILE = AppProfile(
+    name="app", size_gb=1.5, anon_frac=0.6,
+    bands=HeatBands(0.3, 0.1, 0.1), compress_ratio=3.0,
+    cold_never_share=0.2, nthreads=4, cpu_cores=2.0,
+)
+
+
+def build(controller_factory):
+    def factory():
+        host = Host(HostConfig(ram_gb=3.0, ncpu=16, page_size=1 * MB,
+                               backend="zswap", seed=13, tick_s=2.0))
+        host.add_workload(Workload, profile=PROFILE, name="app",
+                          size_scale=1.0)
+        host.add_controller(controller_factory())
+        return host
+    return factory
+
+
+def main() -> None:
+    print("racing stock Senpai against a PI controller (30 min) ...")
+    report = ABTest(
+        control=build(lambda: Senpai(SenpaiConfig())),
+        treatment=build(PiController),
+    ).run(1800.0)
+
+    for series in ("app/resident_bytes", "app/psi_mem_some_avg10"):
+        delta = report.compare(series, window=(900.0, 1800.0))
+        print(f"{series:>26}:  senpai={delta.control_mean:12.1f}   "
+              f"pi={delta.treatment_mean:12.1f}")
+
+    senpai_off = report.control.mm.cgroup("app").offloaded_bytes()
+    pi_off = report.treatment.mm.cgroup("app").offloaded_bytes()
+    print(f"\noffloaded: senpai {senpai_off / MB:.0f} MB, "
+          f"PI {pi_off / MB:.0f} MB")
+    print("both keep pressure near the setpoint; the PI loop trades "
+          "Senpai's simplicity for faster convergence — the kind of "
+          "experiment the Controller protocol makes a one-file job.")
+
+
+if __name__ == "__main__":
+    main()

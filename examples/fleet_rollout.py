@@ -1,0 +1,59 @@
+"""Fleet rollout: Section 4.1's savings accounting on a mini-fleet.
+
+Runs one host per application (each with its production backend and
+both tax sidecars) under the production Senpai configuration, then
+aggregates per-application savings and the fleet-wide savings as a
+share of server memory — the paper's 20-32% headline.
+
+Run:  python examples/fleet_rollout.py
+"""
+
+from repro import Fleet, HostPlan, HostConfig, SenpaiConfig
+from repro.analysis.reporting import format_table
+
+MB = 1 << 20
+
+APPS = ["Feed", "Web", "Cache B", "Ads A", "Ads B", "ML"]
+
+
+def main() -> None:
+    fleet = Fleet(
+        base_config=HostConfig(
+            ram_gb=4.0, ncpu=16, page_size=1 * MB, tick_s=2.0,
+        ),
+        seed=99,
+    )
+    plans = [
+        HostPlan(app=app, count=1, size_scale=0.035,
+                 senpai=SenpaiConfig())
+        for app in APPS
+    ]
+    print(f"running {len(plans)} hosts for 1 simulated hour each ...")
+    result = fleet.run(plans, duration_s=3600.0)
+
+    rows = [
+        (
+            r.app,
+            r.backend,
+            f"{100 * r.app_savings_frac:.1f}",
+            f"{100 * r.tax_savings_frac_of_ram:.1f}",
+            f"{100 * r.total_savings_frac_of_ram:.1f}",
+        )
+        for r in result.reports
+    ]
+    print()
+    print(format_table(
+        ["app", "backend", "app savings %", "tax savings (of RAM) %",
+         "total (of RAM) %"],
+        rows,
+        title="fleet rollout summary",
+    ))
+    print(
+        f"\nfleet-wide: {100 * result.total_savings_of_ram():.1f}% of "
+        f"server memory saved "
+        f"({100 * result.tax_savings_of_ram():.1f}% from taxes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

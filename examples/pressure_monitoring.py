@@ -1,0 +1,103 @@
+"""Using PSI directly: pressure files, SLO monitoring, and a userspace
+OOM-killer policy (Section 3.2.4).
+
+PSI serves two ends of the pressure spectrum: `some` detects aggregate
+latency impact long before applications visibly suffer (what Senpai
+uses), while sustained `full` signals unproductive containers that a
+userspace OOM killer (oomd) should act on. This example scripts both
+situations against the raw PSI engine — no host simulator involved —
+and shows the /proc/pressure-style file rendering.
+
+Run:  python examples/pressure_monitoring.py
+"""
+
+from repro.psi import (
+    PsiSystem,
+    Resource,
+    TaskFlags,
+    format_pressure_file,
+)
+
+RUN = TaskFlags.RUNNING
+MEM = TaskFlags.MEMSTALL
+
+
+def mild_pressure_scenario() -> None:
+    """A healthy service with occasional short memory stalls."""
+    print("=== scenario 1: mild pressure (Senpai's operating range) ===")
+    psi = PsiSystem(ncpu=4)
+    psi.add_group("service")
+    workers = [psi.add_task(f"w{i}", "service") for i in range(4)]
+
+    now = 0.0
+    for second in range(120):
+        for worker in workers:
+            worker.set_flags(RUN, now)
+        # One worker stalls for 5 ms each second: ~0.5% some pressure.
+        workers[second % 4].set_flags(MEM, now + 0.9)
+        workers[second % 4].set_flags(RUN, now + 0.905)
+        now += 1.0
+    psi.tick(now)
+
+    print(format_pressure_file(psi.group("service"), Resource.MEMORY, now))
+    sample = psi.group("service").sample(Resource.MEMORY, now)
+    print(f"-> avg10 some = {100 * sample.some_avg10:.2f}% : "
+          "below a 1% threshold, so a Senpai-style controller would "
+          "keep reclaiming.\n")
+
+
+def oomd_scenario() -> None:
+    """A container that becomes functionally out of memory."""
+    print("=== scenario 2: sustained full pressure (oomd territory) ===")
+    psi = PsiSystem(ncpu=4)
+    psi.add_group("victim")
+    tasks = [psi.add_task(f"t{i}", "victim") for i in range(2)]
+
+    #: An oomd-style policy: kill when full averages >10% over 10s.
+    KILL_THRESHOLD = 0.10
+
+    now = 0.0
+    killed_at = None
+    for second in range(60):
+        # Both tasks spend 30% of every second in direct reclaim.
+        for task in tasks:
+            task.set_flags(MEM, now)
+        for task in tasks:
+            task.set_flags(RUN, now + 0.3)
+        now += 1.0
+        sample = psi.group("victim").sample(Resource.MEMORY, now)
+        if sample.full_avg10 > KILL_THRESHOLD and killed_at is None:
+            killed_at = now
+
+    print(format_pressure_file(psi.group("victim"), Resource.MEMORY, now))
+    print(f"-> full avg10 crossed {100 * KILL_THRESHOLD:.0f}% at "
+          f"t={killed_at:.0f}s; a userspace OOM killer would terminate "
+          "the container long before the kernel OOM killer fires.\n")
+
+
+def compute_potential_scenario() -> None:
+    """`some` vs `full` and the compute-potential cap."""
+    print("=== scenario 3: some vs full with a spare runner ===")
+    psi = PsiSystem(ncpu=2)
+    psi.add_group("mixed")
+    stuck = psi.add_task("stuck", "mixed")
+    busy = psi.add_task("busy", "mixed")
+
+    stuck.set_flags(MEM, 0.0)   # permanently stalled
+    busy.set_flags(RUN, 0.0)    # productive throughout
+    psi.tick(30.0)
+
+    group = psi.group("mixed")
+    print(f"some total: {group.total(Resource.MEMORY, 'some'):.0f}s "
+          "(one task always stalled)")
+    print(f"full total: {group.total(Resource.MEMORY, 'full'):.0f}s "
+          "(never: the other task kept making progress)")
+    print(f"instantaneous productivity loss: "
+          f"{100 * group.productivity_loss(Resource.MEMORY):.0f}% "
+          "of compute potential")
+
+
+if __name__ == "__main__":
+    mild_pressure_scenario()
+    oomd_scenario()
+    compute_potential_scenario()

@@ -1,0 +1,63 @@
+"""A/B load test: Web on memory-bound hosts (Figure 11's experiment).
+
+Runs three identically seeded tiers of the Web application — no
+offloading, TMO with an SSD backend, and TMO with a zswap backend — on
+hosts sized so that request-driven memory growth pushes the baseline
+into its self-regulation (RPS-throttling) regime. Prints the RPS and
+resident-memory trajectories.
+
+Run:  python examples/web_ab_test.py
+"""
+
+from repro import Host, HostConfig, Senpai, SenpaiConfig, WebWorkload
+from repro.workloads import WebConfig
+
+MB = 1 << 20
+DURATION_S = 5400.0
+
+
+def run_tier(backend):
+    host = Host(
+        HostConfig(ram_gb=4.0, ncpu=16, page_size=1 * MB,
+                   backend=backend, seed=42, tick_s=2.0)
+    )
+    host.add_workload(
+        WebWorkload, name="web", size_scale=0.066,
+        config=WebConfig(anon_growth_frac_per_hour=0.35),
+    )
+    if backend is not None:
+        host.add_controller(
+            Senpai(SenpaiConfig(reclaim_ratio=0.002, max_step_frac=0.02))
+        )
+    host.run(DURATION_S)
+    return host
+
+
+def summarise(name, host):
+    rps = host.metrics.series("web/rps")
+    resident = host.metrics.series("web/resident_bytes")
+    print(f"\n--- {name} ---")
+    print(f"{'t (min)':>8} {'RPS':>8} {'resident (MB)':>14}")
+    for t in range(0, int(DURATION_S) + 1, 600):
+        window = rps.window(max(0, t - 300), t + 300)
+        res_window = resident.window(max(0, t - 300), t + 300)
+        if len(window):
+            print(f"{t // 60:>8} {window.mean():>8.1f} "
+                  f"{res_window.mean() / MB:>14.1f}")
+    cg = host.mm.cgroup("web")
+    print(f"offloaded at end: {cg.offloaded_bytes() / MB:.1f} MB "
+          f"(swap {cg.swap_bytes / MB:.0f} / zswap {cg.zswap_bytes / MB:.0f})")
+
+
+def main() -> None:
+    for name, backend in (
+        ("baseline (no offloading)", None),
+        ("TMO / SSD swap", "ssd"),
+        ("TMO / zswap", "zswap"),
+    ):
+        print(f"running tier: {name} ...")
+        summarise(name, run_tier(backend))
+
+
+if __name__ == "__main__":
+    main()

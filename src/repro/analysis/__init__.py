@@ -1,0 +1,30 @@
+"""Analysis helpers: cost modelling, coldness profiling, reporting."""
+
+from repro.analysis.coldness import ColdnessProfile, measure_coldness
+from repro.analysis.costs import (
+    COST_TRENDS,
+    GenerationCost,
+    compressed_memory_cost_pct,
+    cost_table,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.workingset import (
+    ProvisioningEstimate,
+    WorkingSetProfiler,
+    miss_ratio_curve,
+    required_cache_for_miss_ratio,
+)
+
+__all__ = [
+    "COST_TRENDS",
+    "ColdnessProfile",
+    "GenerationCost",
+    "compressed_memory_cost_pct",
+    "cost_table",
+    "format_table",
+    "measure_coldness",
+    "miss_ratio_curve",
+    "required_cache_for_miss_ratio",
+    "ProvisioningEstimate",
+    "WorkingSetProfiler",
+]

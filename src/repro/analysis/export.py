@@ -1,0 +1,61 @@
+"""Exporting experiment metrics.
+
+Benchmarks print paper-shaped tables; for downstream analysis (plots,
+regressions across runs) the recorder's series can be exported as CSV —
+one wide table on a common time axis, or one long (tidy) table.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Optional
+
+from repro.sim.metrics import MetricsRecorder
+
+
+def to_csv_long(
+    metrics: MetricsRecorder, names: Optional[Iterable[str]] = None
+) -> str:
+    """Tidy CSV: one row per sample — ``series,time,value``."""
+    wanted = list(names) if names is not None else sorted(metrics.names())
+    out = io.StringIO()
+    out.write("series,time,value\n")
+    for name in wanted:
+        series = metrics.series(name)
+        for t, v in zip(series.times, series.values):
+            out.write(f"{_csv_escape(name)},{t!r},{v!r}\n")
+    return out.getvalue()
+
+
+def to_csv_wide(
+    metrics: MetricsRecorder, names: Iterable[str]
+) -> str:
+    """Wide CSV: one row per timestamp, one column per series.
+
+    All requested series must share a common time axis (the host
+    records every series each tick, so host metrics always do).
+    """
+    wanted = list(names)
+    if not wanted:
+        raise ValueError("to_csv_wide needs at least one series name")
+    base = metrics.series(wanted[0])
+    for name in wanted[1:]:
+        series = metrics.series(name)
+        if series.times != base.times:
+            raise ValueError(
+                f"series {name!r} is not on the same time axis as "
+                f"{wanted[0]!r}; use to_csv_long instead"
+            )
+    out = io.StringIO()
+    out.write("time," + ",".join(_csv_escape(n) for n in wanted) + "\n")
+    columns = [metrics.series(name).values for name in wanted]
+    for i, t in enumerate(base.times):
+        row = ",".join(repr(col[i]) for col in columns)
+        out.write(f"{t!r},{row}\n")
+    return out.getvalue()
+
+
+def _csv_escape(text: str) -> str:
+    if "," in text or '"' in text or "\n" in text:
+        return '"' + text.replace('"', '""') + '"'
+    return text

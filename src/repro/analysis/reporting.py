@@ -1,0 +1,47 @@
+"""Plain-text table formatting for the benchmark harness.
+
+Every benchmark prints the rows/series its figure reports; this keeps
+the formatting consistent and readable in pytest output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    Floats are shown with three significant decimals; everything else
+    via ``str``.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has "
+                f"{len(headers)} headers"
+            )
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(headers))
+    lines.append(fmt_line(["-" * w for w in widths]))
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)

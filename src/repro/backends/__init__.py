@@ -1,0 +1,60 @@
+"""Offload backends: the slow-memory tiers that hold offloaded pages.
+
+The paper's fleet offloads to two backends (Section 2.5): NVMe SSDs
+(swap + filesystem) and a zswap compressed memory pool. Both are modelled
+here as devices that expose exactly what the kernel and Senpai observe:
+per-operation latency (inflated under contention), throughput limits, and
+— for SSDs — a finite write-endurance budget.
+"""
+
+from repro.backends.base import DeviceStats, IoKind, OffloadBackend
+from repro.backends.compression import (
+    COMPRESSION_ALGORITHMS,
+    CompressionAlgorithm,
+    compressed_size,
+)
+from repro.backends.device import QueuedDevice
+from repro.backends.filesystem import FilesystemBackend
+from repro.backends.nvm import (
+    CXL_SPEC,
+    NVM_SPEC,
+    FarMemoryBackend,
+    make_cxl,
+    make_nvm,
+)
+from repro.backends.tiered import TieredBackend
+from repro.backends.ssd import (
+    SSD_CATALOG,
+    SsdSpec,
+    SsdSwapBackend,
+    make_ssd_device,
+)
+from repro.backends.zswap import (
+    ZSWAP_ALLOCATORS,
+    ZswapAllocator,
+    ZswapBackend,
+)
+
+__all__ = [
+    "COMPRESSION_ALGORITHMS",
+    "CompressionAlgorithm",
+    "DeviceStats",
+    "FilesystemBackend",
+    "IoKind",
+    "OffloadBackend",
+    "QueuedDevice",
+    "SSD_CATALOG",
+    "SsdSpec",
+    "SsdSwapBackend",
+    "TieredBackend",
+    "FarMemoryBackend",
+    "CXL_SPEC",
+    "NVM_SPEC",
+    "make_cxl",
+    "make_nvm",
+    "ZSWAP_ALLOCATORS",
+    "ZswapAllocator",
+    "ZswapBackend",
+    "compressed_size",
+    "make_ssd_device",
+]

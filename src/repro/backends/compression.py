@@ -1,0 +1,67 @@
+"""Compression algorithm models for zswap.
+
+Section 5.1: the authors experimented with lzo, lz4 and zstd and chose
+zstd for its ratio/overhead balance. Workload compressibility is expressed
+as the ratio achieved *under zstd*; other algorithms scale that ratio down
+and trade CPU time differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CompressionAlgorithm:
+    """CPU cost and ratio scaling of one compression algorithm.
+
+    Attributes:
+        name: algorithm identifier.
+        ratio_scale: multiplier on the workload's zstd compression ratio
+            (zstd itself is 1.0; faster algorithms compress less).
+        compress_us_per_4k: CPU microseconds to compress one 4 KiB page.
+        decompress_us_per_4k: CPU microseconds to decompress one 4 KiB page.
+    """
+
+    name: str
+    ratio_scale: float
+    compress_us_per_4k: float
+    decompress_us_per_4k: float
+
+    def effective_ratio(self, zstd_ratio: float) -> float:
+        """The ratio this algorithm achieves on data with ``zstd_ratio``.
+
+        Never drops below 1.0 — incompressible data is stored raw.
+        """
+        return max(1.0, zstd_ratio * self.ratio_scale)
+
+
+#: Models of the algorithms evaluated in Section 5.1. The latency numbers
+#: are representative single-core 4 KiB-page figures; their *ordering*
+#: (lz4 fastest / worst ratio, zstd slowest / best ratio) is what the
+#: selection experiment exercises.
+COMPRESSION_ALGORITHMS: Dict[str, CompressionAlgorithm] = {
+    "lz4": CompressionAlgorithm(
+        name="lz4", ratio_scale=0.75, compress_us_per_4k=1.5,
+        decompress_us_per_4k=0.8,
+    ),
+    "lzo": CompressionAlgorithm(
+        name="lzo", ratio_scale=0.80, compress_us_per_4k=2.5,
+        decompress_us_per_4k=1.5,
+    ),
+    "zstd": CompressionAlgorithm(
+        name="zstd", ratio_scale=1.0, compress_us_per_4k=6.0,
+        decompress_us_per_4k=2.0,
+    ),
+}
+
+
+def compressed_size(
+    nbytes: int, zstd_ratio: float, algorithm: CompressionAlgorithm
+) -> int:
+    """Size of ``nbytes`` of data after compression with ``algorithm``."""
+    if nbytes < 0:
+        raise ValueError(f"page size cannot be negative: {nbytes}")
+    ratio = algorithm.effective_ratio(zstd_ratio)
+    return int(round(nbytes / ratio))

@@ -1,0 +1,156 @@
+"""A queued block device.
+
+Models what the paper's experiments actually observe from an SSD: base
+latency per operation, a throughput ceiling (IOPS), and latency inflation
+as the device saturates. We use an open-loop M/M/1-style inflation factor
+``1 / (1 - rho)`` on a utilisation estimate smoothed over a short window,
+capped to keep the simulation stable when demand exceeds capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backends.base import IoKind
+
+#: Utilisation at which latency inflation is clamped.
+_RHO_CAP = 0.95
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Performance envelope of a block device."""
+
+    name: str
+    read_iops: float
+    write_iops: float
+    read_latency_p50_us: float
+    write_latency_p50_us: float
+    #: Lognormal sigma of per-op latency; sets the p50->p99 spread.
+    latency_sigma: float = 0.9
+
+
+class QueuedDevice:
+    """Tracks utilisation and draws per-operation latencies.
+
+    The device smooths its operation rate with an exponential window
+    (default 5 s) and inflates latency by ``1/(1-rho)``. Latency samples
+    are lognormal around the inflated median, which reproduces the long
+    tails the paper reports for the slower SSD generations.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        rng: np.random.Generator,
+        util_window_s: float = 5.0,
+    ) -> None:
+        self.spec = spec
+        self._rng = rng
+        self._util_window = util_window_s
+        self._read_rate = 0.0  # smoothed ops/s
+        self._write_rate = 0.0
+        self._pending_reads = 0.0  # ops issued since last tick
+        self._pending_writes = 0.0
+
+    # ------------------------------------------------------------------
+
+    def on_tick(self, now: float, dt: float) -> None:
+        """Fold operations issued during the last ``dt`` into the rates."""
+        if dt <= 0:
+            return
+        alpha = min(1.0, dt / self._util_window)
+        self._read_rate += (self._pending_reads / dt - self._read_rate) * alpha
+        self._write_rate += (
+            self._pending_writes / dt - self._write_rate
+        ) * alpha
+        self._pending_reads = 0.0
+        self._pending_writes = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Combined utilisation estimate in [0, 1]."""
+        rho = (
+            self._read_rate / self.spec.read_iops
+            + self._write_rate / self.spec.write_iops
+        )
+        return min(_RHO_CAP, rho)
+
+    def _base_latency_us(self, kind: IoKind) -> float:
+        if kind is IoKind.READ:
+            return self.spec.read_latency_p50_us
+        return self.spec.write_latency_p50_us
+
+    def issue(self, kind: IoKind, weight: float = 1.0) -> float:
+        """Issue one (weighted) operation; return its latency in seconds.
+
+        Args:
+            kind: read or write.
+            weight: how many real operations this sampled operation stands
+                for (the simulator samples accesses; rates must reflect
+                the true operation count).
+        """
+        if kind is IoKind.READ:
+            self._pending_reads += weight
+        else:
+            self._pending_writes += weight
+        inflation = 1.0 / (1.0 - self.utilization)
+        median_us = self._base_latency_us(kind) * inflation
+        sample_us = median_us * float(
+            self._rng.lognormal(mean=0.0, sigma=self.spec.latency_sigma)
+        )
+        return sample_us * 1e-6
+
+    def expected_latency(self, kind: IoKind, percentile: float = 50.0) -> float:
+        """Analytic latency at ``percentile`` under current utilisation (s)."""
+        from math import exp
+
+        inflation = 1.0 / (1.0 - self.utilization)
+        median_us = self._base_latency_us(kind) * inflation
+        # Lognormal quantile: median * exp(sigma * z_q).
+        z = _norm_ppf(percentile / 100.0)
+        return median_us * exp(self.spec.latency_sigma * z) * 1e-6
+
+
+def _norm_ppf(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Avoids a scipy dependency in the core library; accurate to ~1e-9,
+    far beyond what the latency model needs.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"percentile fraction must be in (0, 1), got {p}")
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1.0 - 0.02425
+    if p < p_low:
+        q = (-2.0 * _ln(p)) ** 0.5
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > p_high:
+        q = (-2.0 * _ln(1.0 - p)) ** 0.5
+        return -((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                  + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q
+                             + 1))
+    q = p - 0.5
+    r = q * q
+    return ((((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+             + a[5]) * q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1))
+
+
+def _ln(x: float) -> float:
+    from math import log
+
+    return log(x)

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-apps`` — the application catalog with its published
+  characteristics.
+* ``list-ssds`` — the Figure 5 device catalog.
+* ``run-host`` — simulate one host under Senpai and report savings.
+* ``cost-table`` — the Figure 1 hardware cost trends.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.costs import cost_table
+from repro.analysis.reporting import format_table
+from repro.backends.ssd import SSD_CATALOG
+from repro.core.fleet import cgroup_memory_savings
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.psi.types import Resource
+from repro.sim.host import Host, HostConfig
+from repro.workloads.apps import APP_CATALOG
+from repro.workloads.base import Workload
+from repro.workloads.web import WebWorkload
+
+MB = 1 << 20
+
+
+def _cmd_list_apps(_args) -> int:
+    rows = [
+        (
+            p.name,
+            f"{p.size_gb:.0f}",
+            f"{100 * p.anon_frac:.0f}",
+            f"{100 * p.bands.cold:.0f}",
+            f"{p.compress_ratio:.2f}",
+            p.preferred_backend,
+        )
+        for p in APP_CATALOG.values()
+    ]
+    print(format_table(
+        ["app", "size (GB)", "anon %", "cold %", "zstd ratio", "backend"],
+        rows,
+        title="application catalog",
+    ))
+    return 0
+
+
+def _cmd_list_ssds(_args) -> int:
+    rows = [
+        (
+            s.name,
+            f"{s.endurance_pbw:.1f}",
+            f"{s.read_iops / 1e3:.0f}",
+            f"{s.write_iops / 1e3:.0f}",
+            f"{s.read_p99_us:.0f}",
+            f"{s.write_p99_us:.0f}",
+        )
+        for s in SSD_CATALOG.values()
+    ]
+    print(format_table(
+        ["device", "endurance (PBW)", "read kIOPS", "write kIOPS",
+         "read p99 (us)", "write p99 (us)"],
+        rows,
+        title="SSD catalog (Figure 5)",
+    ))
+    return 0
+
+
+def _cmd_cost_table(_args) -> int:
+    rows = [
+        (gen, f"{mem:.1f}", f"{comp:.1f}", f"{ssd:.2f}")
+        for gen, mem, comp, ssd in cost_table()
+    ]
+    print(format_table(
+        ["generation", "memory %", "compressed %", "ssd iso %"],
+        rows,
+        title="hardware cost trends (Figure 1)",
+    ))
+    return 0
+
+
+def _cmd_run_host(args) -> int:
+    if args.app not in APP_CATALOG:
+        print(f"unknown app {args.app!r}; see `list-apps`",
+              file=sys.stderr)
+        return 2
+    profile = APP_CATALOG[args.app]
+    backend = args.backend or profile.preferred_backend
+    host = Host(HostConfig(
+        ram_gb=args.ram_gb,
+        ncpu=args.ncpu,
+        page_size=args.page_mb * MB,
+        backend=None if backend == "none" else backend,
+        seed=args.seed,
+    ))
+    if args.app == "Web":
+        host.add_workload(WebWorkload, name="app",
+                          size_scale=args.size_scale)
+    else:
+        host.add_workload(Workload, profile=profile, name="app",
+                          size_scale=args.size_scale)
+    if backend != "none":
+        host.add_controller(Senpai(SenpaiConfig()))
+    print(f"simulating {args.duration:.0f}s of {args.app!r} on a "
+          f"{args.ram_gb:.0f} GB host with backend {backend!r} ...")
+    host.run(args.duration)
+
+    cg = host.mm.cgroup("app")
+    stats = cgroup_memory_savings(host.mm, "app")
+    group = host.psi.group("app")
+    mem = group.sample(Resource.MEMORY, host.clock.now)
+    rows = [
+        ("resident (MB)", f"{cg.resident_bytes / MB:.1f}"),
+        ("offloaded (MB)", f"{cg.offloaded_bytes() / MB:.1f}"),
+        ("file evicted (MB)", f"{stats['saved_file_bytes'] / MB:.1f}"),
+        ("net savings %", f"{100 * stats['savings_frac']:.1f}"),
+        ("PSI memory some avg300 %", f"{100 * mem.some_avg300:.4f}"),
+        ("swap-ins", str(cg.vmstat.pswpin)),
+        ("refaults", str(cg.vmstat.workingset_refault)),
+    ]
+    print(format_table(["metric", "value"], rows, title="results"))
+    return 0
+
+
+def _cmd_run_ab(args) -> int:
+    from repro.sim.ab import ABTest
+
+    if args.app not in APP_CATALOG:
+        print(f"unknown app {args.app!r}; see `list-apps`",
+              file=sys.stderr)
+        return 2
+    profile = APP_CATALOG[args.app]
+
+    def build(backend):
+        host = Host(HostConfig(
+            ram_gb=args.ram_gb, ncpu=args.ncpu,
+            page_size=args.page_mb * MB,
+            backend=None if backend == "none" else backend,
+            seed=args.seed,
+        ))
+        if args.app == "Web":
+            host.add_workload(WebWorkload, name="app",
+                              size_scale=args.size_scale)
+        else:
+            host.add_workload(Workload, profile=profile, name="app",
+                              size_scale=args.size_scale)
+        if backend != "none":
+            host.add_controller(Senpai(SenpaiConfig()))
+        return host
+
+    print(f"A/B: {args.app!r} — control={args.control!r} vs "
+          f"treatment={args.treatment!r}, {args.duration:.0f}s ...")
+    report = ABTest(
+        control=lambda: build(args.control),
+        treatment=lambda: build(args.treatment),
+    ).run(args.duration)
+
+    window = (args.duration / 2, args.duration)
+    rows = []
+    for series in ("app/resident_bytes", "app/rps",
+                   "app/psi_mem_some_avg10", "app/promotion_rate"):
+        delta = report.compare(series, window=window)
+        rows.append((
+            series,
+            f"{delta.control_mean:.4g}",
+            f"{delta.treatment_mean:.4g}",
+            f"{100 * delta.delta_frac:+.1f}%"
+            if delta.control_mean else "n/a",
+        ))
+    print(format_table(
+        ["metric (2nd half mean)", "control", "treatment", "delta"],
+        rows, title="A/B results",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TMO (ASPLOS '22) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="show the application catalog")
+    sub.add_parser("list-ssds", help="show the SSD device catalog")
+    sub.add_parser("cost-table", help="show Figure 1's cost trends")
+
+    run = sub.add_parser("run-host",
+                         help="simulate one host under Senpai")
+    run.add_argument("--app", default="Feed",
+                     help="application name (see list-apps)")
+    run.add_argument("--backend", default=None,
+                     choices=["zswap", "ssd", "tiered", "none"],
+                     help="offload backend (default: app's preference)")
+    run.add_argument("--duration", type=float, default=1800.0,
+                     help="simulated seconds (default 1800)")
+    run.add_argument("--ram-gb", type=float, default=4.0)
+    run.add_argument("--ncpu", type=int, default=16)
+    run.add_argument("--page-mb", type=int, default=1,
+                     help="simulated page granularity in MiB")
+    run.add_argument("--size-scale", type=float, default=0.05,
+                     help="fraction of the production footprint")
+    run.add_argument("--seed", type=int, default=1234)
+
+    ab = sub.add_parser(
+        "run-ab", help="A/B two backends on identically seeded hosts"
+    )
+    ab.add_argument("--app", default="Feed")
+    ab.add_argument("--control", default="none",
+                    choices=["zswap", "ssd", "tiered", "nvm", "cxl",
+                             "none"])
+    ab.add_argument("--treatment", default="zswap",
+                    choices=["zswap", "ssd", "tiered", "nvm", "cxl",
+                             "none"])
+    ab.add_argument("--duration", type=float, default=1800.0)
+    ab.add_argument("--ram-gb", type=float, default=4.0)
+    ab.add_argument("--ncpu", type=int, default=16)
+    ab.add_argument("--page-mb", type=int, default=1)
+    ab.add_argument("--size-scale", type=float, default=0.05)
+    ab.add_argument("--seed", type=int, default=1234)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-apps": _cmd_list_apps,
+        "list-ssds": _cmd_list_ssds,
+        "cost-table": _cmd_cost_table,
+        "run-host": _cmd_run_host,
+        "run-ab": _cmd_run_ab,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""TMO's userspace control plane.
+
+The paper's primary contribution on top of PSI: the Senpai controller
+(Section 3.3), the early stateful ``memory.max``-based variant it
+replaced, the g-swap promotion-rate baseline it is compared against
+(Section 4.3), SSD write-endurance regulation (Section 4.5), and the
+fleet-rollout harness behind the Section 4.1 savings numbers.
+"""
+
+from repro.core.autotune import AutoTuneConfig, AutoTuneSenpai
+from repro.core.daemon import SenpaiDaemon, SenpaiDaemonConfig
+from repro.core.fleet import Fleet, FleetResult, HostPlan
+from repro.core.gswap import GSwapConfig, GSwapController
+from repro.core.oomd import Oomd, OomdConfig
+from repro.core.limits import LimitSenpai, LimitSenpaiConfig
+from repro.core.policy import reclaim_amount
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.core.write_regulation import WriteRegulator
+
+__all__ = [
+    "AutoTuneConfig",
+    "AutoTuneSenpai",
+    "Fleet",
+    "Oomd",
+    "OomdConfig",
+    "SenpaiDaemon",
+    "SenpaiDaemonConfig",
+    "FleetResult",
+    "GSwapConfig",
+    "GSwapController",
+    "HostPlan",
+    "LimitSenpai",
+    "LimitSenpaiConfig",
+    "Senpai",
+    "SenpaiConfig",
+    "WriteRegulator",
+    "reclaim_amount",
+]

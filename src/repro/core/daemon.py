@@ -1,0 +1,96 @@
+"""SenpaiDaemon: the controller as the open-source senpai is written.
+
+The production (and open-sourced) senpai is a small daemon that knows
+nothing about kernel internals: it reads ``memory.pressure`` text,
+parses the ``total=`` stall counter, reads ``memory.current``, computes
+the reclaim step, and writes the byte count to ``memory.reclaim``. This
+class is that daemon, verbatim against the simulator's
+:class:`~repro.kernel.controlfs.ControlFs` façade — a living proof that
+the simulated control surface is drivable by unmodified tooling logic.
+
+(The in-process :class:`~repro.core.senpai.Senpai` is the richer
+controller with write regulation; this one trades features for being a
+faithful port of the file-level protocol.)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.policy import reclaim_amount
+
+_TOTAL_RE = re.compile(r"^some .*total=(\d+)$", re.MULTILINE)
+
+
+def parse_some_total_us(pressure_text: str) -> int:
+    """Extract the ``some ... total=<us>`` counter from a pressure file.
+
+    >>> parse_some_total_us(
+    ...     "some avg10=0.00 avg60=0.00 avg300=0.00 total=1500\\n"
+    ...     "full avg10=0.00 avg60=0.00 avg300=0.00 total=0")
+    1500
+    """
+    match = _TOTAL_RE.search(pressure_text)
+    if not match:
+        raise ValueError(
+            f"not a pressure file: {pressure_text[:60]!r}"
+        )
+    return int(match.group(1))
+
+
+@dataclass(frozen=True)
+class SenpaiDaemonConfig:
+    """The open-source senpai's knobs (its defaults match Section 3.3)."""
+
+    interval_s: float = 6.0
+    psi_threshold: float = 0.001
+    reclaim_ratio: float = 0.0005
+    max_step_frac: float = 0.01
+    cgroups: Tuple[str, ...] = ()
+
+
+class SenpaiDaemon:
+    """File-protocol senpai against the ControlFs surface."""
+
+    def __init__(self, config: SenpaiDaemonConfig) -> None:
+        if not config.cgroups:
+            raise ValueError(
+                "SenpaiDaemon needs explicit cgroup paths to manage"
+            )
+        self.config = config
+        self._last_total_us: Dict[str, int] = {}
+        self._next_poll: Optional[float] = None
+
+    def poll(self, host, now: float) -> None:
+        if self._next_poll is None:
+            self._next_poll = now + self.config.interval_s
+            for cgroup in self.config.cgroups:
+                text = host.controlfs.read(
+                    f"{cgroup}/memory.pressure", now
+                )
+                self._last_total_us[cgroup] = parse_some_total_us(text)
+            return
+        if now + 1e-9 < self._next_poll:
+            return
+        self._next_poll = now + self.config.interval_s
+
+        for cgroup in self.config.cgroups:
+            fs = host.controlfs
+            text = fs.read(f"{cgroup}/memory.pressure", now)
+            total_us = parse_some_total_us(text)
+            delta_us = total_us - self._last_total_us.get(cgroup, 0)
+            self._last_total_us[cgroup] = total_us
+            pressure = (delta_us / 1e6) / self.config.interval_s
+
+            current = int(fs.read(f"{cgroup}/memory.current", now))
+            step = reclaim_amount(
+                current_mem=current,
+                psi_some=pressure,
+                psi_threshold=self.config.psi_threshold,
+                reclaim_ratio=self.config.reclaim_ratio,
+                max_step_frac=self.config.max_step_frac,
+            )
+            if step > 0:
+                fs.write(f"{cgroup}/memory.reclaim", str(step), now)

@@ -1,0 +1,212 @@
+"""Fleet rollout harness.
+
+Section 4.1 reports TMO's fleet-wide savings: 7-19% of resident memory
+per application (backend-dependent) plus ~13% of server memory from the
+datacenter and microservice taxes, for 20-32% total. This module runs
+many seeded host instances — each carrying one application container and
+its tax sidecars under Senpai — and aggregates per-application and
+fleet-level savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.kernel.mm import MemoryManager
+from repro.sim.host import Host, HostConfig
+from repro.sim.rng import derive_seed
+from repro.workloads.apps import APP_CATALOG, AppProfile
+from repro.workloads.base import Workload
+from repro.workloads.tax import TAX_PROFILES, TaxWorkload
+from repro.workloads.web import WebWorkload
+
+_GB = 1 << 30
+
+
+def cgroup_memory_savings(mm: MemoryManager, cgroup_name: str) -> Dict[str, float]:
+    """Savings accounting for one container.
+
+    The baseline footprint is what the container would occupy without
+    TMO: its resident bytes plus everything currently offloaded. The
+    real DRAM saving nets out the zswap pool's physical footprint,
+    attributed to the container by its share of the pool's logical
+    content.
+
+    Returns a dict with ``baseline_bytes``, ``saved_bytes``,
+    ``savings_frac``, ``saved_anon_bytes`` and ``saved_file_bytes``.
+    """
+    cg = mm.cgroup(cgroup_name)
+    offloaded_anon = cg.swap_bytes + cg.zswap_bytes
+    # File-cache savings: pages reclaim evicted that the workload has
+    # not needed back. Their shadow entries are exactly that set — a
+    # shadow is installed on eviction and consumed on refault.
+    saved_file = len(cg.shadow) * cg.page_size
+    baseline = cg.resident_bytes + offloaded_anon + saved_file
+    pool_overhead = 0.0
+    if cg.zswap_bytes > 0 and mm.swap_backend is not None:
+        total_logical = sum(c.zswap_bytes for c in mm.cgroups())
+        if total_logical > 0:
+            pool_overhead = mm.zswap_pool_bytes * (
+                cg.zswap_bytes / total_logical
+            )
+    saved_anon = max(0.0, offloaded_anon - pool_overhead)
+    saved = saved_anon + saved_file
+    return {
+        "baseline_bytes": float(baseline),
+        "saved_bytes": saved,
+        "savings_frac": saved / baseline if baseline > 0 else 0.0,
+        "saved_anon_bytes": saved_anon,
+        "saved_file_bytes": float(saved_file),
+        "offloaded_bytes": float(offloaded_anon),
+        "pool_overhead_bytes": pool_overhead,
+    }
+
+
+@dataclass(frozen=True)
+class HostPlan:
+    """One slice of the fleet: ``count`` hosts running ``app``."""
+
+    app: str
+    count: int = 1
+    backend: Optional[str] = None  # None -> the profile's preference
+    size_scale: float = 1.0
+    include_tax: bool = True
+    senpai: SenpaiConfig = field(default_factory=SenpaiConfig)
+
+
+@dataclass
+class HostReport:
+    """Savings measured on one host at the end of its run."""
+
+    app: str
+    backend: str
+    host_index: int
+    ram_bytes: int
+    app_baseline_bytes: float
+    app_saved_bytes: float
+    tax_saved_bytes: float
+
+    @property
+    def app_savings_frac(self) -> float:
+        """App savings normalised to the app's resident baseline
+        (Figure 9's normalisation)."""
+        if self.app_baseline_bytes <= 0:
+            return 0.0
+        return self.app_saved_bytes / self.app_baseline_bytes
+
+    @property
+    def tax_savings_frac_of_ram(self) -> float:
+        """Tax savings normalised to server memory (Figure 10)."""
+        return self.tax_saved_bytes / self.ram_bytes
+
+    @property
+    def total_savings_frac_of_ram(self) -> float:
+        return (self.app_saved_bytes + self.tax_saved_bytes) / self.ram_bytes
+
+
+@dataclass
+class FleetResult:
+    """Aggregated savings across all hosts of a fleet run."""
+
+    reports: List[HostReport] = field(default_factory=list)
+
+    def apps(self) -> List[str]:
+        seen: List[str] = []
+        for report in self.reports:
+            if report.app not in seen:
+                seen.append(report.app)
+        return seen
+
+    def _mean(self, values: Sequence[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    def app_savings(self, app: str) -> float:
+        return self._mean(
+            [r.app_savings_frac for r in self.reports if r.app == app]
+        )
+
+    def tax_savings_of_ram(self) -> float:
+        return self._mean([r.tax_savings_frac_of_ram for r in self.reports])
+
+    def total_savings_of_ram(self) -> float:
+        return self._mean(
+            [r.total_savings_frac_of_ram for r in self.reports]
+        )
+
+
+class Fleet:
+    """Runs a set of :class:`HostPlan` slices and aggregates savings."""
+
+    def __init__(
+        self,
+        base_config: HostConfig = HostConfig(),
+        seed: int = 7,
+    ) -> None:
+        self.base_config = base_config
+        self.seed = seed
+
+    def _build_host(
+        self, plan: HostPlan, profile: AppProfile, index: int
+    ) -> Host:
+        backend = plan.backend or profile.preferred_backend
+        config = replace(
+            self.base_config,
+            backend=backend,
+            seed=derive_seed(self.seed, f"host:{plan.app}:{index}"),
+        )
+        host = Host(config)
+        if profile.name == "Web":
+            host.add_workload(
+                WebWorkload, name="app", size_scale=plan.size_scale
+            )
+        else:
+            host.add_workload(
+                Workload, profile=profile, name="app",
+                size_scale=plan.size_scale,
+            )
+        if plan.include_tax:
+            # Tax profiles are sized per 64 GB host; rescale to this host.
+            tax_scale = (
+                config.ram_bytes / (64.0 * _GB)
+            )
+            for kind in TAX_PROFILES:
+                slug = kind.lower().replace(" ", "-")
+                host.add_workload(
+                    TaxWorkload, name=slug, kind=kind,
+                    size_scale=tax_scale,
+                )
+        host.add_controller(Senpai(plan.senpai))
+        return host
+
+    def run(
+        self, plans: Sequence[HostPlan], duration_s: float
+    ) -> FleetResult:
+        """Execute every planned host for ``duration_s`` of virtual time."""
+        result = FleetResult()
+        for plan in plans:
+            profile = APP_CATALOG[plan.app]
+            for index in range(plan.count):
+                host = self._build_host(plan, profile, index)
+                host.run(duration_s)
+                app_stats = cgroup_memory_savings(host.mm, "app")
+                tax_saved = 0.0
+                if plan.include_tax:
+                    for kind in TAX_PROFILES:
+                        slug = kind.lower().replace(" ", "-")
+                        tax_saved += cgroup_memory_savings(host.mm, slug)[
+                            "saved_bytes"
+                        ]
+                result.reports.append(
+                    HostReport(
+                        app=plan.app,
+                        backend=plan.backend or profile.preferred_backend,
+                        host_index=index,
+                        ram_bytes=host.config.ram_bytes,
+                        app_baseline_bytes=app_stats["baseline_bytes"],
+                        app_saved_bytes=app_stats["saved_bytes"],
+                        tax_saved_bytes=tax_saved,
+                    )
+                )
+        return result

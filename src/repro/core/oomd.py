@@ -1,0 +1,85 @@
+"""oomd: a userspace out-of-memory killer driven by PSI (Section 3.2.4).
+
+"Long before the kernel's out-of-memory killer triggers, applications
+can be functionally out of memory when the lack of it causes delays
+that prevent the application from meeting its SLO. Userspace
+out-of-memory killers can monitor ``full`` metrics and apply killing
+policies."
+
+This controller watches each container's ``full`` pressure average and
+kills the container once it sustains above a threshold — the policy the
+open-sourced oomd ships with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.psi.types import Resource
+
+
+@dataclass(frozen=True)
+class OomdConfig:
+    """Kill policy parameters.
+
+    Attributes:
+        full_threshold: ``full`` avg10 fraction that marks a container
+            as functionally out of memory (oomd's default pressure rule
+            uses 10-ish percent).
+        sustain_s: how long the threshold must hold before killing —
+            transients (e.g. restarts) must not trigger kills.
+        resource: the pressured resource to watch.
+        interval_s: polling period.
+        cgroups: containers under policy; None = all hosted workloads.
+    """
+
+    full_threshold: float = 0.10
+    sustain_s: float = 10.0
+    resource: Resource = Resource.MEMORY
+    interval_s: float = 1.0
+    cgroups: Optional[Tuple[str, ...]] = None
+
+
+@dataclass
+class _WatchState:
+    over_since: Optional[float] = None
+
+
+class Oomd:
+    """PSI-driven userspace OOM killer."""
+
+    def __init__(self, config: OomdConfig = OomdConfig()) -> None:
+        self.config = config
+        self._states: Dict[str, _WatchState] = {}
+        self._next_poll: Optional[float] = None
+        #: (time, cgroup) pairs for every kill performed.
+        self.kills: List[Tuple[float, str]] = []
+
+    def _targets(self, host) -> List[str]:
+        if self.config.cgroups is not None:
+            return [
+                name for name in self.config.cgroups
+                if name in host._hosted
+            ]
+        return [h.cgroup_name for h in host.hosted()]
+
+    def poll(self, host, now: float) -> None:
+        if self._next_poll is not None and now + 1e-9 < self._next_poll:
+            return
+        self._next_poll = now + self.config.interval_s
+
+        for cgroup in self._targets(host):
+            state = self._states.setdefault(cgroup, _WatchState())
+            sample = host.psi.group(cgroup).sample(
+                self.config.resource, now
+            )
+            if sample.full_avg10 >= self.config.full_threshold:
+                if state.over_since is None:
+                    state.over_since = now
+                elif now - state.over_since >= self.config.sustain_s:
+                    host.kill_workload(cgroup)
+                    self.kills.append((now, cgroup))
+                    self._states.pop(cgroup, None)
+            else:
+                state.over_since = None

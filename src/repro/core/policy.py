@@ -1,0 +1,49 @@
+"""Senpai's reclaim-sizing formula (Section 3.3).
+
+::
+
+    reclaim_mem = current_mem * reclaim_ratio * max(0, 1 - PSI_some / PSI_threshold)
+
+No memory is reclaimed when observed pressure exceeds the threshold; as
+pressure approaches the threshold, the step shrinks toward zero, settling
+the container at a mild steady-state pressure. The step is additionally
+capped at a fraction of the workload size per period (1% in production),
+bounding the contraction rate to minutes while leaving expansion
+unimpeded (the stateless knob never blocks allocation).
+"""
+
+from __future__ import annotations
+
+
+def reclaim_amount(
+    current_mem: int,
+    psi_some: float,
+    psi_threshold: float,
+    reclaim_ratio: float,
+    max_step_frac: float = 0.01,
+) -> int:
+    """Compute one period's reclaim target in bytes.
+
+    Args:
+        current_mem: the cgroup's current memory footprint in bytes.
+        psi_some: observed ``some`` pressure over the last period, as a
+            fraction of wall time in [0, 1].
+        psi_threshold: the target pressure (production: 0.001 = 0.1%).
+        reclaim_ratio: the per-period reclaim fraction (production:
+            0.0005).
+        max_step_frac: hard cap on the step as a fraction of
+            ``current_mem`` (production: 1%).
+
+    Returns:
+        Bytes to reclaim this period (>= 0).
+    """
+    if current_mem < 0:
+        raise ValueError(f"current_mem must be >= 0, got {current_mem}")
+    if psi_threshold <= 0:
+        raise ValueError(f"psi_threshold must be > 0, got {psi_threshold}")
+    if reclaim_ratio < 0 or max_step_frac < 0:
+        raise ValueError("reclaim_ratio and max_step_frac must be >= 0")
+    backoff = max(0.0, 1.0 - psi_some / psi_threshold)
+    step = current_mem * reclaim_ratio * backoff
+    cap = current_mem * max_step_frac
+    return int(min(step, cap))

@@ -1,0 +1,242 @@
+"""Senpai: the userspace memory-offloading controller (Section 3.3).
+
+Senpai polls each container's PSI every few seconds and asks the kernel
+— through the stateless ``memory.reclaim`` knob — to reclaim
+
+::
+
+    reclaim_mem = current_mem * reclaim_ratio * max(0, 1 - PSI_some / PSI_threshold)
+
+so containers settle at a mild, sub-threshold steady-state pressure:
+high enough that no memory sits idle, low enough not to disturb nominal
+operation. Senpai monitors the *IO* PSI alongside memory PSI, because
+refaults it induces can hurt the workload through device contention
+without showing up as memory stalls; and it modulates reclaim when SSD
+write endurance is at risk (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.policy import reclaim_amount
+from repro.core.write_regulation import WriteRegulator
+from repro.psi.types import Resource
+
+
+@dataclass(frozen=True)
+class SloTier:
+    """Per-container tuning for workloads with distinct SLOs.
+
+    Section 3.3 flags this as planned work: batch workloads with
+    relaxed SLOs tolerate more pressure (more savings), user-facing
+    ones less. A tier scales the global thresholds and reclaim ratio.
+    """
+
+    pressure_scale: float = 1.0
+    ratio_scale: float = 1.0
+
+    @classmethod
+    def batch(cls) -> "SloTier":
+        """Relaxed SLO: tolerate 5x the pressure, reclaim 4x faster."""
+        return cls(pressure_scale=5.0, ratio_scale=4.0)
+
+    @classmethod
+    def latency_sensitive(cls) -> "SloTier":
+        """Stringent SLO: half the pressure target, half the ratio."""
+        return cls(pressure_scale=0.5, ratio_scale=0.5)
+
+
+@dataclass(frozen=True)
+class SenpaiConfig:
+    """Senpai tunables.
+
+    The defaults are the globally-optimal production configuration the
+    paper converged on for all applications: reclaim every six seconds,
+    ``reclaim_ratio = 0.0005``, ``PSI_threshold = 0.1%``, step capped at
+    1% of the workload per period.
+    """
+
+    interval_s: float = 6.0
+    psi_threshold: float = 0.001
+    io_threshold: float = 0.001
+    reclaim_ratio: float = 0.0005
+    max_step_frac: float = 0.01
+    #: SSD swap-out budget; None disables write regulation.
+    write_limit_mb_s: Optional[float] = 1.0
+    #: Restrict reclaim to the file LRU (the deployment's first,
+    #: file-only phase — Section 5.1).
+    file_only_mode: bool = False
+    #: Stop anon reclaim once swap free space drops below this fraction
+    #: of its capacity (Section 3.3's swap-exhaustion modulation).
+    swap_free_margin_frac: float = 0.05
+    #: Stop anon reclaim once this share of the SSD's rated write
+    #: endurance has been consumed.
+    endurance_limit_frac: float = 0.90
+    #: Containers to control; None means every hosted workload.
+    cgroups: Optional[Tuple[str, ...]] = None
+    #: Optional per-container SLO tiers: ``(cgroup_name, tier)`` pairs.
+    slo_tiers: Tuple[Tuple[str, SloTier], ...] = ()
+
+    def tier_for(self, cgroup: str) -> SloTier:
+        for name, tier in self.slo_tiers:
+            if name == cgroup:
+                return tier
+        return SloTier()
+
+    @classmethod
+    def config_a(cls) -> "SenpaiConfig":
+        """Figure 13's mild Config A — the production setting."""
+        return cls()
+
+    @classmethod
+    def config_b(cls) -> "SenpaiConfig":
+        """Figure 13's aggressive Config B.
+
+        Tolerates ten times the pressure and reclaims ten times faster;
+        saves more memory but regresses RPS through file-cache refaults.
+        """
+        return cls(
+            psi_threshold=0.010,
+            io_threshold=0.010,
+            reclaim_ratio=0.005,
+            max_step_frac=0.02,
+        )
+
+
+@dataclass
+class _CgroupState:
+    """Per-container bookkeeping between polls."""
+
+    last_mem_total: float = 0.0
+    last_io_total: float = 0.0
+    seen: bool = False
+
+
+class Senpai:
+    """The PSI-driven proactive reclaim controller."""
+
+    def __init__(self, config: SenpaiConfig = SenpaiConfig()) -> None:
+        self.config = config
+        self._states: Dict[str, _CgroupState] = {}
+        self._next_poll: Optional[float] = None
+        self._last_tick: Optional[float] = None
+        self.regulator: Optional[WriteRegulator] = (
+            WriteRegulator(config.write_limit_mb_s)
+            if config.write_limit_mb_s is not None
+            else None
+        )
+        #: Total bytes Senpai has asked the kernel to reclaim.
+        self.total_requested = 0
+        #: Total bytes the kernel actually reclaimed for Senpai.
+        self.total_reclaimed = 0
+
+    # ------------------------------------------------------------------
+
+    def _targets(self, host) -> List[str]:
+        if self.config.cgroups is not None:
+            return list(self.config.cgroups)
+        return [h.cgroup_name for h in host.hosted()]
+
+    def observed_pressure(self, host, cgroup: str, interval: float) -> float:
+        """Normalised pressure for one container over the last interval.
+
+        Diffs the ``some`` stall totals (like the open-source senpai
+        does, rather than using the kernel's averaged windows), divides
+        by the elapsed interval, and normalises each resource by its own
+        threshold; the binding constraint (max) drives back-off.
+        """
+        state = self._states.setdefault(cgroup, _CgroupState())
+        mem_total = host.psi.some_total(cgroup, Resource.MEMORY)
+        io_total = host.psi.some_total(cgroup, Resource.IO)
+        if not state.seen:
+            state.last_mem_total = mem_total
+            state.last_io_total = io_total
+            state.seen = True
+            return 0.0
+        mem_pressure = (mem_total - state.last_mem_total) / interval
+        io_pressure = (io_total - state.last_io_total) / interval
+        state.last_mem_total = mem_total
+        state.last_io_total = io_total
+        return max(
+            mem_pressure / self.config.psi_threshold,
+            io_pressure / self.config.io_threshold,
+        )
+
+    # ------------------------------------------------------------------
+
+    def poll(self, host, now: float) -> None:
+        """Host hook: update regulation every tick, reclaim on schedule."""
+        if self._last_tick is not None and self.regulator is not None:
+            backend = host.swap_backend
+            if backend is not None and backend.blocks_on_io:
+                self.regulator.update(
+                    backend.stats.bytes_written, now - self._last_tick
+                )
+        self._last_tick = now
+
+        if self._next_poll is None:
+            # First observation period starts now; no reclaim yet.
+            self._next_poll = now + self.config.interval_s
+            for cgroup in self._targets(host):
+                self.observed_pressure(host, cgroup, self.config.interval_s)
+            return
+        if now + 1e-9 < self._next_poll:
+            return
+        self._next_poll = now + self.config.interval_s
+        self._reclaim_period(host, now)
+
+    def _swap_exhausted(self, backend) -> bool:
+        """Section 3.3's extra modulation: back off anon reclaim when
+        swap space is nearly exhausted or endurance nearly consumed."""
+        capacity = getattr(backend, "capacity_bytes", None)
+        free = getattr(backend, "free_bytes", None)
+        if capacity and free is not None:
+            if free < self.config.swap_free_margin_frac * capacity:
+                return True
+        wear = getattr(backend, "wear_fraction", None)
+        if wear is not None and wear >= self.config.endurance_limit_frac:
+            return True
+        return False
+
+    def _reclaim_period(self, host, now: float) -> None:
+        file_only = self.config.file_only_mode
+        allowance = 1.0
+        backend = host.swap_backend
+        if backend is not None and self._swap_exhausted(backend):
+            file_only = True
+        if self.regulator is not None and not file_only:
+            if backend is not None and backend.blocks_on_io:
+                allowance = self.regulator.allowance()
+                file_only = self.regulator.file_only()
+
+        for cgroup in self._targets(host):
+            tier = self.config.tier_for(cgroup)
+            pressure = self.observed_pressure(
+                host, cgroup, self.config.interval_s
+            ) / tier.pressure_scale
+            current = host.mm.cgroup(cgroup).current_bytes()
+            target = reclaim_amount(
+                current_mem=current,
+                psi_some=pressure,
+                psi_threshold=1.0,  # pressure is already normalised
+                reclaim_ratio=self.config.reclaim_ratio * tier.ratio_scale,
+                max_step_frac=self.config.max_step_frac,
+            )
+            if not file_only and allowance < 1.0:
+                target = int(target * allowance)
+            if target <= 0:
+                host.metrics.record(f"{cgroup}/senpai_reclaim", now, 0.0)
+                continue
+            outcome = host.mm.memory_reclaim(
+                cgroup, target, now, file_only=file_only
+            )
+            self.total_requested += target
+            self.total_reclaimed += outcome.reclaimed_bytes
+            host.metrics.record(
+                f"{cgroup}/senpai_reclaim", now, outcome.reclaimed_bytes
+            )
+            host.metrics.record(
+                f"{cgroup}/senpai_pressure", now, pressure
+            )

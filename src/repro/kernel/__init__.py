@@ -1,0 +1,47 @@
+"""Simulated Linux memory-management substrate.
+
+This package reproduces the kernel mechanisms TMO relies on (Section 3.4):
+page LRU lists, the cgroup hierarchy with ``memory.max`` and the stateless
+``memory.reclaim`` control files, non-resident (shadow-entry) cache
+tracking with reuse-distance refault detection, and two reclaim balancing
+algorithms — the legacy file-skewed heuristic and TMO's refault/swap-in
+balanced rewrite that was upstreamed.
+"""
+
+from repro.kernel.cgroup import Cgroup
+from repro.kernel.controlfs import ControlFileError, ControlFs, parse_bytes
+from repro.kernel.idle import AgeHistogram, IdlePageTracker
+from repro.kernel.lru import LruList, LruSet
+from repro.kernel.mm import FaultResult, MemoryManager, OutOfMemoryError
+from repro.kernel.page import Page, PageKind, PageState
+from repro.kernel.reclaim import (
+    LegacyReclaimPolicy,
+    ReclaimOutcome,
+    ReclaimPolicy,
+    TmoReclaimPolicy,
+)
+from repro.kernel.shadow import ShadowMap
+from repro.kernel.vmstat import VmStat
+
+__all__ = [
+    "AgeHistogram",
+    "Cgroup",
+    "ControlFileError",
+    "ControlFs",
+    "IdlePageTracker",
+    "parse_bytes",
+    "FaultResult",
+    "LegacyReclaimPolicy",
+    "LruList",
+    "LruSet",
+    "MemoryManager",
+    "OutOfMemoryError",
+    "Page",
+    "PageKind",
+    "PageState",
+    "ReclaimOutcome",
+    "ReclaimPolicy",
+    "ShadowMap",
+    "TmoReclaimPolicy",
+    "VmStat",
+]

@@ -1,0 +1,193 @@
+"""A cgroupfs-style control-file façade.
+
+The real Senpai is a daemon that reads and writes files under
+``/sys/fs/cgroup``. This module exposes the simulated kernel through
+the same surface — string reads and writes against paths like
+``workload.slice/app/memory.reclaim`` — so controllers can be written
+exactly as their production counterparts are (see
+:class:`repro.core.daemon.SenpaiDaemon`).
+
+Supported files per cgroup:
+
+* ``memory.current`` (r)  — hierarchical usage in bytes.
+* ``memory.max`` (rw)     — ``max`` or a byte limit (K/M/G suffixes).
+* ``memory.reclaim`` (w)  — proactive reclaim: ``<bytes> [swappiness=0]``;
+  ``swappiness=0`` restricts reclaim to the file LRU.
+* ``memory.stat`` (r)     — usage breakdown plus vmstat counters.
+* ``memory.pressure`` / ``io.pressure`` / ``cpu.pressure`` (rw) —
+  reads render the kernel format; writes register PSI triggers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+from repro.kernel.mm import MemoryManager
+from repro.psi.group import format_pressure_file
+from repro.psi.tracker import PsiSystem
+from repro.psi.trigger import PsiTrigger, TriggerSpec
+from repro.psi.types import Resource
+
+_SUFFIXES = {"": 1, "K": 1 << 10, "M": 1 << 20, "G": 1 << 30,
+             "T": 1 << 40}
+
+_PRESSURE_FILES = {
+    "memory.pressure": Resource.MEMORY,
+    "io.pressure": Resource.IO,
+    "cpu.pressure": Resource.CPU,
+}
+
+
+def parse_bytes(text: str) -> int:
+    """Parse ``4096``, ``100M``, ``2G`` ... into bytes."""
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([KMGT]?)i?B?\s*",
+                         text, re.IGNORECASE)
+    if not match:
+        raise ValueError(f"cannot parse byte size {text!r}")
+    value, suffix = match.groups()
+    return int(float(value) * _SUFFIXES[suffix.upper()])
+
+
+class ControlFileError(OSError):
+    """Raised for unknown paths, bad values, or read/write mismatches."""
+
+
+class ControlFs:
+    """String-level access to the cgroup control surface."""
+
+    def __init__(self, mm: MemoryManager, psi: PsiSystem) -> None:
+        self.mm = mm
+        self.psi = psi
+        self._triggers: Dict[Tuple[str, str], PsiTrigger] = {}
+
+    # ------------------------------------------------------------------
+
+    def _split(self, path: str) -> Tuple[str, str]:
+        """Split ``<cgroup-path>/<file>`` and validate the cgroup."""
+        path = path.strip("/")
+        if "/" in path:
+            cgroup_name, filename = path.rsplit("/", 1)
+        else:
+            cgroup_name, filename = "root", path
+        # Accept both full slash paths and bare cgroup names: the
+        # simulator's cgroup registry is flat, keyed by name.
+        cgroup_name = cgroup_name.rsplit("/", 1)[-1]
+        try:
+            self.mm.cgroup(cgroup_name)
+        except KeyError:
+            raise ControlFileError(
+                f"no such cgroup: {cgroup_name!r}"
+            ) from None
+        return cgroup_name, filename
+
+    # ------------------------------------------------------------------
+
+    def read(self, path: str, now: float) -> str:
+        """Read one control file; returns its text content."""
+        cgroup_name, filename = self._split(path)
+        cgroup = self.mm.cgroup(cgroup_name)
+
+        if filename == "memory.current":
+            return str(cgroup.current_bytes())
+        if filename == "memory.max":
+            return "max" if cgroup.memory_max is None else str(
+                cgroup.memory_max
+            )
+        if filename == "memory.low":
+            return str(cgroup.memory_low)
+        if filename == "memory.swap.max":
+            return "max" if cgroup.swap_max is None else str(cgroup.swap_max)
+        if filename == "memory.stat":
+            vm = cgroup.vmstat
+            lines = [
+                f"anon {cgroup.anon_bytes}",
+                f"file {cgroup.file_bytes}",
+                f"swapped {cgroup.swap_bytes}",
+                f"zswapped {cgroup.zswap_bytes}",
+                f"pgscan {vm.pgscan}",
+                f"pgsteal {vm.pgsteal}",
+                f"pswpin {vm.pswpin}",
+                f"pswpout {vm.pswpout}",
+                f"workingset_refault {vm.workingset_refault}",
+                f"workingset_evict {vm.workingset_evict}",
+                f"pgmajfault {vm.pgmajfault}",
+            ]
+            return "\n".join(lines)
+        if filename in _PRESSURE_FILES:
+            group = self.psi.group(cgroup_name)
+            return format_pressure_file(
+                group, _PRESSURE_FILES[filename], now
+            )
+        raise ControlFileError(f"unknown control file {filename!r}")
+
+    # ------------------------------------------------------------------
+
+    def write(self, path: str, value: str, now: float) -> None:
+        """Write one control file."""
+        cgroup_name, filename = self._split(path)
+
+        if filename == "memory.max":
+            limit = None if value.strip() == "max" else parse_bytes(value)
+            self.mm.set_memory_max(cgroup_name, limit, now)
+            return
+        if filename == "memory.low":
+            value = value.strip()
+            self.mm.cgroup(cgroup_name).memory_low = (
+                0 if value in ("0", "") else parse_bytes(value)
+            )
+            return
+        if filename == "memory.swap.max":
+            value = value.strip()
+            self.mm.cgroup(cgroup_name).swap_max = (
+                None if value == "max" else parse_bytes(value)
+            )
+            return
+        if filename == "memory.reclaim":
+            parts = value.split()
+            if not parts:
+                raise ControlFileError("memory.reclaim needs a byte count")
+            nr_bytes = parse_bytes(parts[0])
+            file_only = False
+            for option in parts[1:]:
+                if option == "swappiness=0":
+                    file_only = True
+                elif option.startswith("swappiness="):
+                    file_only = False
+                else:
+                    raise ControlFileError(
+                        f"unknown memory.reclaim option {option!r}"
+                    )
+            self.mm.memory_reclaim(
+                cgroup_name, nr_bytes, now, file_only=file_only
+            )
+            return
+        if filename in _PRESSURE_FILES:
+            spec = TriggerSpec.parse(_PRESSURE_FILES[filename], value)
+            group = self.psi.group(cgroup_name)
+            trigger = PsiTrigger(group, spec, now)
+            self._triggers[(cgroup_name, filename)] = trigger
+            return
+        raise ControlFileError(
+            f"control file {filename!r} is not writable"
+        )
+
+    # ------------------------------------------------------------------
+
+    def trigger(self, path: str) -> PsiTrigger:
+        """The trigger registered by the last write to a pressure file."""
+        cgroup_name, filename = self._split(path)
+        try:
+            return self._triggers[(cgroup_name, filename)]
+        except KeyError:
+            raise ControlFileError(
+                f"no trigger registered on {path!r}"
+            ) from None
+
+    def poll(self, now: float):
+        """Update all registered triggers; return fired (path-keyed)."""
+        fired = []
+        for (cgroup_name, filename), trigger in self._triggers.items():
+            if trigger.update(now):
+                fired.append(f"{cgroup_name}/{filename}")
+        return fired

@@ -1,0 +1,107 @@
+"""Idle-page tracking and page-age histograms.
+
+The cold-page detectors the paper positions itself against (Section 6):
+idle-bit scanning [10, 20] and g-swap's page-age histograms [18]. TMO
+itself deliberately does *not* scan pages — it lets LRU reclaim find
+cold memory — but the offline-profiling comparator (and the Figure 2
+characterisation methodology) needs an explicit scanner, so the
+simulator provides one.
+
+The scanner charges a CPU cost per page examined, reproducing the
+paper's observation that scan overhead grows with memory size, whereas
+TMO's reclaim cost scales only with the paging rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.kernel.mm import MemoryManager
+
+#: CPU seconds to test-and-clear one page's idle bit.
+IDLE_SCAN_COST_S = 0.5e-6
+
+#: Default histogram bucket edges, in seconds of idleness.
+DEFAULT_AGE_BUCKETS_S = (60.0, 120.0, 300.0, 900.0, 3600.0)
+
+
+@dataclass
+class AgeHistogram:
+    """Counts of resident pages by idle age.
+
+    ``counts[i]`` holds pages with ``edges[i-1] <= age < edges[i]``;
+    the final bucket is everything at least as old as the last edge.
+    """
+
+    edges: Sequence[float]
+    counts: List[int] = field(default_factory=list)
+    total_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if list(self.edges) != sorted(self.edges):
+            raise ValueError(f"bucket edges must ascend: {self.edges}")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def add(self, age_s: float) -> None:
+        for i, edge in enumerate(self.edges):
+            if age_s < edge:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total_pages += 1
+
+    def fraction_older_than(self, age_s: float) -> float:
+        """Share of pages idle for at least ``age_s`` (must be an edge)."""
+        if age_s not in self.edges:
+            raise ValueError(
+                f"{age_s} is not a bucket edge of {list(self.edges)}"
+            )
+        index = list(self.edges).index(age_s)
+        if self.total_pages == 0:
+            return 0.0
+        return sum(self.counts[index + 1:]) / self.total_pages
+
+
+class IdlePageTracker:
+    """Scans a cgroup's resident pages and builds age histograms."""
+
+    def __init__(self, mm: MemoryManager) -> None:
+        self.mm = mm
+        #: Total CPU seconds consumed by scanning (the cost TMO avoids).
+        self.scan_cpu_seconds = 0.0
+        self.pages_scanned = 0
+
+    def scan(
+        self,
+        cgroup_name: str,
+        now: float,
+        buckets: Sequence[float] = DEFAULT_AGE_BUCKETS_S,
+    ) -> AgeHistogram:
+        """One full scan of the cgroup's resident pages."""
+        histogram = AgeHistogram(edges=tuple(buckets))
+        for page in self.mm.pages(cgroup_name):
+            if not page.resident:
+                continue
+            histogram.add(max(0.0, now - page.last_access))
+            self.pages_scanned += 1
+            self.scan_cpu_seconds += IDLE_SCAN_COST_S
+        return histogram
+
+    def cold_bytes(
+        self, cgroup_name: str, now: float, age_threshold_s: float
+    ) -> int:
+        """Resident bytes idle for at least ``age_threshold_s``.
+
+        The offline-profiling estimate a g-swap-style system derives its
+        static offload target from.
+        """
+        cold = 0
+        for page in self.mm.pages(cgroup_name):
+            if page.resident and now - page.last_access >= age_threshold_s:
+                cold += self.mm.page_size
+                self.pages_scanned += 1
+                self.scan_cpu_seconds += IDLE_SCAN_COST_S
+        return cold

@@ -1,0 +1,80 @@
+"""Per-cgroup memory event counters (the kernel's memory.stat / vmstat).
+
+These are exactly the "fragile low-level metrics" the paper contrasts PSI
+against — but the kernel's reclaim balancing (and g-swap's promotion-rate
+controller) are built on them, so the simulator maintains them faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class VmStat:
+    """Monotonic event counters for one memory-control domain."""
+
+    #: Page faults that had to read from a backend (major faults).
+    pgmajfault: int = 0
+    #: Anonymous pages swapped in / out (either swap or zswap backend).
+    pswpin: int = 0
+    pswpout: int = 0
+    #: File pages read from the filesystem (first access or after evict).
+    pgpgin_file: int = 0
+    #: Refaults: file pages faulted back while still in the working set
+    #: (reuse distance below resident size). The signal that drives TMO's
+    #: reclaim balancing and the memory-PSI refault accounting.
+    workingset_refault: int = 0
+    #: File pages evicted with a shadow entry installed.
+    workingset_evict: int = 0
+    #: Reclaim scan activity.
+    pgscan: int = 0
+    pgsteal: int = 0
+    pgactivate: int = 0
+    pgdeactivate: int = 0
+    #: Dirty file pages written back during eviction.
+    pgwriteback: int = 0
+    #: Direct-reclaim invocations from the allocation path.
+    direct_reclaim: int = 0
+
+    def snapshot(self) -> "VmStat":
+        """A copy of the current counter values."""
+        return VmStat(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, earlier: "VmStat") -> "VmStat":
+        """Counter increments since ``earlier`` was snapshotted."""
+        return VmStat(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def add(self, other: "VmStat") -> None:
+        """Accumulate ``other``'s counts into this one (fleet aggregation)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+@dataclass
+class RateEstimator:
+    """Exponentially smoothed event rate from a monotonic counter.
+
+    The kernel's reclaim cost balancing uses decaying counters; this is
+    the same idea expressed as an events-per-second EMA.
+    """
+
+    window_s: float = 30.0
+    rate: float = 0.0
+    _last_count: int = 0
+
+    def update(self, count: int, dt: float) -> float:
+        """Fold the counter's growth over ``dt`` seconds into the rate."""
+        if dt <= 0:
+            return self.rate
+        increment = count - self._last_count
+        self._last_count = count
+        instantaneous = max(0.0, increment / dt)
+        alpha = min(1.0, dt / self.window_s)
+        self.rate += (instantaneous - self.rate) * alpha
+        return self.rate

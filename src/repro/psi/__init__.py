@@ -1,0 +1,34 @@
+"""Pressure Stall Information (PSI).
+
+This package reimplements the PSI mechanism the paper upstreamed into the
+Linux kernel (Section 3.2): per-task stall-state tracking, aggregated per
+container and machine-wide into ``some`` and ``full`` time integrals per
+resource (CPU, memory, IO), with 10s/1m/5m exponential running averages.
+
+``some`` is the share of wall time during which at least one non-idle task
+in the domain was stalled on the resource; ``full`` is the share during
+which *all* non-idle tasks were stalled simultaneously (no productive
+execution at all). ``some >= full`` always holds.
+"""
+
+from repro.psi.avgs import PSI_AVG_PERIOD, PSI_WINDOWS, RunningAverages
+from repro.psi.group import PressureSample, PsiGroup, format_pressure_file
+from repro.psi.tracker import PsiSystem, PsiTask
+from repro.psi.trigger import PsiTrigger, TriggerSet, TriggerSpec
+from repro.psi.types import Resource, TaskFlags
+
+__all__ = [
+    "PSI_AVG_PERIOD",
+    "PSI_WINDOWS",
+    "PressureSample",
+    "PsiGroup",
+    "PsiSystem",
+    "PsiTask",
+    "PsiTrigger",
+    "TriggerSet",
+    "TriggerSpec",
+    "Resource",
+    "RunningAverages",
+    "TaskFlags",
+    "format_pressure_file",
+]

@@ -1,0 +1,60 @@
+"""Exponential running averages over the kernel's PSI windows.
+
+The kernel folds raw stall time into running averages every
+``PSI_AVG_PERIOD`` (2 s), over 10 s / 60 s / 300 s windows. Those three
+averages are what ``/proc/pressure/*`` and the per-cgroup ``*.pressure``
+files report as ``avg10``, ``avg60`` and ``avg300``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Seconds between average refreshes, matching the kernel's PSI_FREQ.
+PSI_AVG_PERIOD = 2.0
+
+#: The reporting windows, in seconds.
+PSI_WINDOWS: Tuple[float, float, float] = (10.0, 60.0, 300.0)
+
+
+@dataclass
+class RunningAverages:
+    """avg10/avg60/avg300 for one (resource, some|full) stall integral."""
+
+    #: Exponential moving averages keyed by window length, as fractions
+    #: in [0, 1] (multiply by 100 for the kernel's percentage form).
+    avgs: Dict[float, float] = field(
+        default_factory=lambda: {w: 0.0 for w in PSI_WINDOWS}
+    )
+    #: Total stall seconds folded in so far.
+    last_total: float = 0.0
+
+    def update(self, total: float, period: float = PSI_AVG_PERIOD) -> None:
+        """Fold the stall-total delta since the last update into the averages.
+
+        Args:
+            total: cumulative stall seconds for this state.
+            period: seconds elapsed since the previous update.
+        """
+        if period <= 0:
+            raise ValueError(f"update period must be positive, got {period}")
+        delta = max(0.0, total - self.last_total)
+        self.last_total = total
+        sample = min(1.0, delta / period)
+        for window in self.avgs:
+            alpha = 1.0 - math.exp(-period / window)
+            self.avgs[window] += (sample - self.avgs[window]) * alpha
+
+    @property
+    def avg10(self) -> float:
+        return self.avgs[10.0]
+
+    @property
+    def avg60(self) -> float:
+        return self.avgs[60.0]
+
+    @property
+    def avg300(self) -> float:
+        return self.avgs[300.0]

@@ -1,0 +1,211 @@
+"""Per-domain PSI aggregation.
+
+A :class:`PsiGroup` corresponds to one pressure domain: a cgroup, or the
+whole machine. It keeps task-state counters, integrates ``some`` and
+``full`` stall time on every state transition, and maintains the running
+averages exposed through the pressure-file interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.psi.avgs import PSI_AVG_PERIOD, RunningAverages
+from repro.psi.types import Resource, TaskFlags
+
+#: The two pressure indicators per resource.
+SOME = "some"
+FULL = "full"
+
+_STATES: Tuple[Tuple[Resource, str], ...] = tuple(
+    (resource, kind) for resource in Resource for kind in (SOME, FULL)
+)
+
+
+@dataclass(frozen=True)
+class PressureSample:
+    """A point-in-time read of one resource's pressure in a domain.
+
+    All values are fractions in [0, 1]; multiply by 100 for the kernel's
+    percentage presentation.
+    """
+
+    resource: Resource
+    some_avg10: float
+    some_avg60: float
+    some_avg300: float
+    some_total: float
+    full_avg10: float
+    full_avg60: float
+    full_avg300: float
+    full_total: float
+
+
+class PsiGroup:
+    """Stall-time accounting for one pressure domain.
+
+    The group is fed task state transitions by :class:`repro.psi.tracker.
+    PsiSystem`; it never inspects tasks itself. Between transitions the
+    domain's pressure state is constant, so integration happens lazily at
+    transition (and read) time.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ncpu: int,
+        now: float = 0.0,
+        parent: Optional["PsiGroup"] = None,
+    ) -> None:
+        if ncpu < 1:
+            raise ValueError(f"a PSI domain needs at least one CPU, got {ncpu}")
+        self.name = name
+        self.ncpu = ncpu
+        self.parent = parent
+        # Task counters, updated by the tracker.
+        self.nr_stalled: Dict[Resource, int] = {r: 0 for r in Resource}
+        self.nr_productive: Dict[Resource, int] = {r: 0 for r in Resource}
+        self.nr_nonidle = 0
+        # Stall-time integrals in seconds.
+        self.totals: Dict[Tuple[Resource, str], float] = {
+            state: 0.0 for state in _STATES
+        }
+        self._avgs: Dict[Tuple[Resource, str], RunningAverages] = {
+            state: RunningAverages() for state in _STATES
+        }
+        self._last_change = now
+        self._next_avg_update = now + PSI_AVG_PERIOD
+
+    # ------------------------------------------------------------------
+    # state evaluation
+
+    def _state_active(self, resource: Resource, kind: str) -> bool:
+        """Whether the (resource, kind) stall state is active right now."""
+        stalled = self.nr_stalled[resource] > 0
+        if kind == SOME:
+            return stalled
+        return stalled and self.nr_productive[resource] == 0
+
+    def _integrate(self, now: float) -> None:
+        """Accrue stall time for all active states up to ``now``."""
+        elapsed = now - self._last_change
+        if elapsed < 0:
+            raise ValueError(
+                f"PSI group {self.name!r}: time went backwards "
+                f"({self._last_change} -> {now})"
+            )
+        if elapsed > 0:
+            for state in _STATES:
+                if self._state_active(*state):
+                    self.totals[state] += elapsed
+            self._last_change = now
+
+    # ------------------------------------------------------------------
+    # transition feed (called by the tracker)
+
+    def change_task_state(
+        self, old: TaskFlags, new: TaskFlags, now: float
+    ) -> None:
+        """Apply one task's transition from ``old`` to ``new`` flags."""
+        self.tick(now)
+        for resource in Resource:
+            if old.stalled_on(resource):
+                self.nr_stalled[resource] -= 1
+            if new.stalled_on(resource):
+                self.nr_stalled[resource] += 1
+            if old.productive_for(resource):
+                self.nr_productive[resource] -= 1
+            if new.productive_for(resource):
+                self.nr_productive[resource] += 1
+        self.nr_nonidle += int(new.nonidle) - int(old.nonidle)
+        if self.nr_nonidle < 0 or any(
+            n < 0 for n in self.nr_stalled.values()
+        ):
+            raise RuntimeError(
+                f"PSI group {self.name!r}: task counters went negative; "
+                "a transition was fed with mismatched old flags"
+            )
+
+    # ------------------------------------------------------------------
+    # reads
+
+    def tick(self, now: float) -> None:
+        """Advance time and refresh running averages if a period elapsed.
+
+        Integration is performed period-by-period so a large time jump
+        attributes stall time to every averaging window it spans, not
+        just the first.
+        """
+        while now >= self._next_avg_update:
+            self._integrate(self._next_avg_update)
+            for state in _STATES:
+                self._avgs[state].update(
+                    self.totals[state], PSI_AVG_PERIOD
+                )
+            self._next_avg_update += PSI_AVG_PERIOD
+        self._integrate(now)
+
+    def total(self, resource: Resource, kind: str = SOME) -> float:
+        """Cumulative stall seconds for ``(resource, kind)``."""
+        return self.totals[(resource, kind)]
+
+    def sample(self, resource: Resource, now: float) -> PressureSample:
+        """Read the pressure file for ``resource`` at time ``now``."""
+        self.tick(now)
+        some = self._avgs[(resource, SOME)]
+        full = self._avgs[(resource, FULL)]
+        return PressureSample(
+            resource=resource,
+            some_avg10=some.avg10,
+            some_avg60=some.avg60,
+            some_avg300=some.avg300,
+            some_total=self.totals[(resource, SOME)],
+            full_avg10=full.avg10,
+            full_avg60=full.avg60,
+            full_avg300=full.avg300,
+            full_total=self.totals[(resource, FULL)],
+        )
+
+    def productivity_loss(self, resource: Resource) -> float:
+        """Instantaneous share of compute potential lost to stalls.
+
+        The paper defines compute potential as the number of non-idle
+        tasks capped at the CPU count; this returns the stalled share of
+        that potential at the current instant.
+        """
+        potential = min(self.nr_nonidle, self.ncpu)
+        if potential == 0:
+            return 0.0
+        stalled = min(self.nr_stalled[resource], potential)
+        return stalled / potential
+
+    def __repr__(self) -> str:
+        return (
+            f"PsiGroup(name={self.name!r}, nonidle={self.nr_nonidle}, "
+            f"stalled={{{', '.join(f'{r.value}:{n}' for r, n in self.nr_stalled.items())}}})"
+        )
+
+
+def format_pressure_file(group: PsiGroup, resource: Resource, now: float) -> str:
+    """Render a domain's pressure in the kernel's ``/proc/pressure`` format.
+
+    >>> group = PsiGroup("system", ncpu=4)
+    >>> print(format_pressure_file(group, Resource.MEMORY, now=0.0))
+    some avg10=0.00 avg60=0.00 avg300=0.00 total=0
+    full avg10=0.00 avg60=0.00 avg300=0.00 total=0
+    """
+    sample = group.sample(resource, now)
+    some_line = (
+        f"some avg10={sample.some_avg10 * 100:.2f} "
+        f"avg60={sample.some_avg60 * 100:.2f} "
+        f"avg300={sample.some_avg300 * 100:.2f} "
+        f"total={int(sample.some_total * 1e6)}"
+    )
+    full_line = (
+        f"full avg10={sample.full_avg10 * 100:.2f} "
+        f"avg60={sample.full_avg60 * 100:.2f} "
+        f"avg300={sample.full_avg300 * 100:.2f} "
+        f"total={int(sample.full_total * 1e6)}"
+    )
+    return f"{some_line}\n{full_line}"

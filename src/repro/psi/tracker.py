@@ -1,0 +1,107 @@
+"""Task registry that routes state transitions into PSI domains.
+
+:class:`PsiSystem` owns the machine-wide group plus one group per cgroup.
+Tasks are registered against a cgroup group; every flag change is applied
+to that group and all of its ancestors, and to the machine-wide group —
+exactly how cgroup2 pressure files aggregate in the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.psi.group import PsiGroup
+from repro.psi.types import Resource, TaskFlags
+
+
+class PsiTask:
+    """A handle for one simulated task's PSI state."""
+
+    __slots__ = ("name", "flags", "_groups")
+
+    def __init__(self, name: str, groups: List[PsiGroup]) -> None:
+        self.name = name
+        self.flags = TaskFlags.NONE
+        self._groups = groups
+
+    def set_flags(self, flags: TaskFlags, now: float) -> None:
+        """Transition this task to ``flags`` at time ``now``."""
+        if flags == self.flags:
+            for group in self._groups:
+                group.tick(now)
+            return
+        for group in self._groups:
+            group.change_task_state(self.flags, flags, now)
+        self.flags = flags
+
+    def __repr__(self) -> str:
+        return f"PsiTask(name={self.name!r}, flags={self.flags!r})"
+
+
+class PsiSystem:
+    """All PSI domains of one host."""
+
+    def __init__(self, ncpu: int, now: float = 0.0) -> None:
+        self.ncpu = ncpu
+        self.system = PsiGroup("system", ncpu=ncpu, now=now)
+        self._groups: Dict[str, PsiGroup] = {"system": self.system}
+        self._tasks: Dict[str, PsiTask] = {}
+
+    def add_group(
+        self, name: str, parent: Optional[str] = None, now: float = 0.0
+    ) -> PsiGroup:
+        """Create the pressure domain for a cgroup.
+
+        Args:
+            name: unique domain name (the cgroup path).
+            parent: name of the parent domain; the machine-wide domain is
+                always an implicit ancestor and need not be named.
+        """
+        if name in self._groups:
+            raise ValueError(f"PSI group {name!r} already exists")
+        parent_group = None
+        if parent is not None:
+            parent_group = self._groups.get(parent)
+            if parent_group is None:
+                raise KeyError(f"unknown parent PSI group {parent!r}")
+        group = PsiGroup(name, ncpu=self.ncpu, now=now, parent=parent_group)
+        self._groups[name] = group
+        return group
+
+    def group(self, name: str) -> PsiGroup:
+        return self._groups[name]
+
+    def _lineage(self, group: PsiGroup) -> Iterator[PsiGroup]:
+        node: Optional[PsiGroup] = group
+        while node is not None:
+            yield node
+            node = node.parent
+        if group is not self.system:
+            yield self.system
+
+    def add_task(self, name: str, group_name: str) -> PsiTask:
+        """Register a task whose transitions hit ``group_name`` and ancestors."""
+        if name in self._tasks:
+            raise ValueError(f"PSI task {name!r} already exists")
+        group = self._groups[group_name]
+        task = PsiTask(name, list(self._lineage(group)))
+        self._tasks[name] = task
+        return task
+
+    def remove_task(self, name: str, now: float) -> None:
+        """Deregister a task, first settling it to idle."""
+        task = self._tasks.pop(name)
+        task.set_flags(TaskFlags.NONE, now)
+
+    def task(self, name: str) -> PsiTask:
+        return self._tasks[name]
+
+    def tick(self, now: float) -> None:
+        """Advance all domains to ``now`` (integrals + running averages)."""
+        for group in self._groups.values():
+            group.tick(now)
+
+    def some_total(self, group_name: str, resource: Resource) -> float:
+        """Cumulative ``some`` stall seconds for a domain — the counter
+        Senpai diffs between polling periods."""
+        return self._groups[group_name].total(resource, "some")

@@ -1,0 +1,66 @@
+"""Task states and resources tracked by PSI."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Resource(enum.Enum):
+    """Resources for which PSI reports pressure."""
+
+    CPU = "cpu"
+    MEMORY = "memory"
+    IO = "io"
+
+
+class TaskFlags(enum.IntFlag):
+    """Scheduling-relevant state bits of a simulated task.
+
+    Mirrors the kernel's PSI task accounting:
+
+    * ``RUNNING``  — the task currently occupies a CPU.
+    * ``RUNNABLE`` — the task wants a CPU but is waiting for one
+      (contributes to CPU pressure).
+    * ``MEMSTALL`` — the task is delayed by a memory-shortage event:
+      direct reclaim, a refault of recently evicted file cache, or a
+      swap-in (contributes to memory pressure).
+    * ``IOSTALL``  — the task is blocked on block-IO completion
+      (contributes to IO pressure).
+
+    A task with no flags set is idle (sleeping on something unrelated to
+    resource shortage) and is invisible to PSI.
+    """
+
+    NONE = 0
+    RUNNING = enum.auto()
+    RUNNABLE = enum.auto()
+    MEMSTALL = enum.auto()
+    IOSTALL = enum.auto()
+
+    @property
+    def nonidle(self) -> bool:
+        """True when the task counts toward the domain's compute potential."""
+        return self != TaskFlags.NONE
+
+    def stalled_on(self, resource: Resource) -> bool:
+        """True when this state stalls on ``resource``."""
+        if resource is Resource.MEMORY:
+            return bool(self & TaskFlags.MEMSTALL)
+        if resource is Resource.IO:
+            return bool(self & TaskFlags.IOSTALL)
+        # CPU: runnable but not actually running.
+        return bool(self & TaskFlags.RUNNABLE) and not bool(
+            self & TaskFlags.RUNNING
+        )
+
+    def productive_for(self, resource: Resource) -> bool:
+        """True when this state represents productive work w.r.t. ``resource``.
+
+        A task is productive for memory/IO when it is running (or at least
+        runnable, i.e. it *could* run) and not stalled on the resource; for
+        CPU, only a task actually occupying a CPU is productive.
+        """
+        if resource is Resource.CPU:
+            return bool(self & TaskFlags.RUNNING)
+        on_cpu_or_waiting = bool(self & (TaskFlags.RUNNING | TaskFlags.RUNNABLE))
+        return on_cpu_or_waiting and not self.stalled_on(resource)

@@ -1,0 +1,22 @@
+"""Simulation substrate: virtual clock, RNG discipline, metrics, host assembly.
+
+The simulator is a deterministic tick-fluid hybrid: workloads execute in
+fixed quanta, faults draw latencies from device models, and the PSI tracker
+receives exact state-transition timestamps derived from each quantum.
+"""
+
+from repro.sim.ab import ABReport, ABTest, SeriesDelta
+from repro.sim.clock import Clock
+from repro.sim.metrics import MetricsRecorder, Series
+from repro.sim.rng import derive_rng, derive_seed
+
+__all__ = [
+    "ABReport",
+    "ABTest",
+    "SeriesDelta",
+    "Clock",
+    "MetricsRecorder",
+    "Series",
+    "derive_rng",
+    "derive_seed",
+]

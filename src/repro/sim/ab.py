@@ -1,0 +1,107 @@
+"""A/B testing harness.
+
+Section 4.2: "Our production load-testing framework provides high
+fidelity A/B tests and we use it to guide our hardware and software
+optimizations." The simulator's determinism makes A/B exact: two hosts
+built from the same seed see identical workload randomness, so any
+difference in a metric is attributable to the configuration delta.
+
+Usage::
+
+    ab = ABTest(
+        control=lambda: build_host(backend=None),
+        treatment=lambda: build_host(backend="zswap"),
+    )
+    report = ab.run(duration_s=3600.0)
+    delta = report.compare("app/rps", window=(1800.0, 3600.0))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.sim.host import Host
+
+
+@dataclass(frozen=True)
+class SeriesDelta:
+    """Mean comparison of one metric between the two arms."""
+
+    name: str
+    control_mean: float
+    treatment_mean: float
+
+    @property
+    def delta(self) -> float:
+        return self.treatment_mean - self.control_mean
+
+    @property
+    def delta_frac(self) -> float:
+        """Relative change; nan when the control mean is zero."""
+        if self.control_mean == 0:
+            return float("nan")
+        return self.delta / self.control_mean
+
+
+@dataclass
+class ABReport:
+    """The two completed hosts plus comparison helpers."""
+
+    control: Host
+    treatment: Host
+    duration_s: float
+
+    def compare(
+        self,
+        series_name: str,
+        window: Optional[Tuple[float, float]] = None,
+    ) -> SeriesDelta:
+        """Mean-compare one recorded series between the arms."""
+        if window is None:
+            window = (0.0, self.duration_s)
+        control = self.control.metrics.series(series_name).window(*window)
+        treatment = self.treatment.metrics.series(series_name).window(
+            *window
+        )
+        if len(control) == 0 or len(treatment) == 0:
+            raise KeyError(
+                f"series {series_name!r} has no samples in {window}"
+            )
+        return SeriesDelta(
+            name=series_name,
+            control_mean=control.mean(),
+            treatment_mean=treatment.mean(),
+        )
+
+
+class ABTest:
+    """Runs a control and a treatment host over the same duration.
+
+    The factories must build hosts from identical seeds (same
+    ``HostConfig.seed`` and same workload names) differing only in the
+    configuration under test; the harness checks the seeds match.
+    """
+
+    def __init__(
+        self,
+        control: Callable[[], Host],
+        treatment: Callable[[], Host],
+    ) -> None:
+        self._control_factory = control
+        self._treatment_factory = treatment
+
+    def run(self, duration_s: float) -> ABReport:
+        control = self._control_factory()
+        treatment = self._treatment_factory()
+        if control.config.seed != treatment.config.seed:
+            raise ValueError(
+                "A/B arms must be built from the same seed "
+                f"({control.config.seed} != {treatment.config.seed}); "
+                "differing seeds confound the comparison"
+            )
+        control.run(duration_s)
+        treatment.run(duration_s)
+        return ABReport(
+            control=control, treatment=treatment, duration_s=duration_s
+        )

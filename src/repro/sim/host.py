@@ -1,0 +1,412 @@
+"""One simulated server.
+
+A :class:`Host` assembles the substrate — memory manager, PSI, offload
+backends, CPU model — hosts workload containers, and runs controllers
+(Senpai, g-swap, ...) against them in a deterministic tick loop.
+
+Per tick:
+
+1. every workload runs one quantum, resolving faults through the MM and
+   reporting stall time split by pressure kind;
+2. the scheduler model apportions CPU and lays each thread's run/stall
+   segments onto the PSI timeline as exact state transitions;
+3. devices fold their utilisation windows, reclaim-balance rate EMAs
+   update, controllers poll, metrics record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.backends.filesystem import FilesystemBackend
+from repro.backends.nvm import make_cxl, make_nvm
+from repro.backends.ssd import SsdSwapBackend, make_ssd_device
+from repro.backends.tiered import TieredBackend
+from repro.backends.zswap import ZswapBackend
+from repro.kernel.controlfs import ControlFs
+from repro.kernel.mm import MemoryManager
+from repro.kernel.reclaim import (
+    LegacyReclaimPolicy,
+    ReclaimPolicy,
+    TmoReclaimPolicy,
+)
+from repro.psi.tracker import PsiSystem, PsiTask
+from repro.psi.types import Resource, TaskFlags
+from repro.sim.clock import Clock
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.rng import derive_rng
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import TickResult, Workload
+
+_GB = 1 << 30
+_MB = 1 << 20
+
+
+class Controller(Protocol):
+    """Anything that observes the host and drives offloading."""
+
+    def poll(self, host: "Host", now: float) -> None:
+        """Called once per tick; the controller keeps its own schedule."""
+        ...
+
+
+@dataclass
+class HostConfig:
+    """Hardware and substrate configuration of one server.
+
+    Defaults model the paper's experimental hosts: production Skylake
+    with 64 GB of DRAM (Section 4.2), one NVMe SSD shared by the
+    filesystem and swap.
+
+    Attributes:
+        ram_gb: physical DRAM.
+        ncpu: logical CPUs.
+        page_size: bytes per simulated page (granularity knob).
+        seed: master seed; everything stochastic derives from it.
+        backend: ``"ssd"``, ``"zswap"`` or ``None`` (file-only mode).
+        ssd_model: catalog letter for the host's SSD (A..G).
+        swap_gb: swap partition size when backend is ``"ssd"``.
+        zswap_algorithm / zswap_allocator: pool configuration.
+        zswap_max_frac: cap on the pool as a fraction of RAM.
+        reclaim_policy: ``"tmo"`` or ``"legacy"`` balance algorithm.
+        tick_s: simulation quantum.
+    """
+
+    ram_gb: float = 64.0
+    ncpu: int = 36
+    page_size: int = 4 * _MB
+    seed: int = 1234
+    backend: Optional[str] = "zswap"
+    ssd_model: str = "C"
+    swap_gb: float = 32.0
+    zswap_algorithm: str = "zstd"
+    zswap_allocator: str = "zsmalloc"
+    zswap_max_frac: float = 0.25
+    reclaim_policy: str = "tmo"
+    tick_s: float = 1.0
+
+    @property
+    def ram_bytes(self) -> int:
+        return int(self.ram_gb * _GB)
+
+
+@dataclass
+class HostedWorkload:
+    """A workload container plus its PSI plumbing."""
+
+    workload: Workload
+    cgroup_name: str
+    psi_tasks: List[PsiTask]
+    last_tick: Optional[TickResult] = None
+
+
+#: Segment kinds in the per-thread tick timeline, mapped to PSI flags.
+_SEGMENT_FLAGS: Tuple[TaskFlags, ...] = (
+    TaskFlags.RUNNING,
+    TaskFlags.MEMSTALL,
+    TaskFlags.MEMSTALL | TaskFlags.IOSTALL,
+    TaskFlags.IOSTALL,
+    TaskFlags.RUNNABLE,
+    TaskFlags.NONE,
+)
+
+
+class Host:
+    """A simulated server running containers under optional controllers."""
+
+    def __init__(self, config: HostConfig = HostConfig()) -> None:
+        self.config = config
+        self.clock = Clock()
+        self.psi = PsiSystem(ncpu=config.ncpu)
+        self.metrics = MetricsRecorder()
+        self._controllers: List[Controller] = []
+        self._hosted: Dict[str, HostedWorkload] = {}
+        self._tick_index = 0
+        self._prev_device_stats: Dict[str, Tuple[int, int, int]] = {}
+
+        # --- devices: the filesystem SSD is always present; when the
+        # backend is SSD swap, swap shares the same physical device.
+        fs_device = make_ssd_device(
+            config.ssd_model, derive_rng(config.seed, "device:fs")
+        )
+        self.fs = FilesystemBackend(
+            config.ssd_model, derive_rng(config.seed, "backend:fs"),
+            device=fs_device,
+        )
+        if config.backend == "ssd":
+            swap_backend = SsdSwapBackend(
+                config.ssd_model,
+                derive_rng(config.seed, "backend:swap"),
+                capacity_bytes=int(config.swap_gb * _GB),
+                device=fs_device,  # shared physical SSD (Figure 6 layout)
+            )
+        elif config.backend == "zswap":
+            swap_backend = ZswapBackend(
+                derive_rng(config.seed, "backend:zswap"),
+                algorithm=config.zswap_algorithm,
+                allocator=config.zswap_allocator,
+                max_pool_bytes=int(config.zswap_max_frac * config.ram_bytes),
+            )
+        elif config.backend == "tiered":
+            # Section 5.2's hierarchy: zswap over SSD swap.
+            swap_backend = TieredBackend(
+                zswap=ZswapBackend(
+                    derive_rng(config.seed, "backend:zswap"),
+                    algorithm=config.zswap_algorithm,
+                    allocator=config.zswap_allocator,
+                    max_pool_bytes=int(
+                        config.zswap_max_frac * config.ram_bytes
+                    ),
+                ),
+                ssd=SsdSwapBackend(
+                    config.ssd_model,
+                    derive_rng(config.seed, "backend:swap"),
+                    capacity_bytes=int(config.swap_gb * _GB),
+                    device=fs_device,
+                ),
+            )
+        elif config.backend == "nvm":
+            swap_backend = make_nvm(
+                derive_rng(config.seed, "backend:nvm"),
+                capacity_bytes=int(config.swap_gb * _GB),
+            )
+        elif config.backend == "cxl":
+            swap_backend = make_cxl(
+                derive_rng(config.seed, "backend:cxl"),
+                capacity_bytes=int(config.swap_gb * _GB),
+            )
+        elif config.backend is None:
+            swap_backend = None
+        else:
+            raise ValueError(
+                f"unknown backend {config.backend!r}; "
+                "use 'ssd', 'zswap', 'tiered', 'nvm', 'cxl' or None"
+            )
+        self.swap_backend = swap_backend
+
+        policy = self._make_policy(config.reclaim_policy)
+        self.mm = MemoryManager(
+            ram_bytes=config.ram_bytes,
+            page_size=config.page_size,
+            fs=self.fs,
+            swap_backend=swap_backend,
+            policy=policy,
+        )
+        #: The cgroupfs-style control surface (for file-based daemons).
+        self.controlfs = ControlFs(self.mm, self.psi)
+
+    @staticmethod
+    def _make_policy(name: str) -> ReclaimPolicy:
+        if name == "tmo":
+            return TmoReclaimPolicy()
+        if name == "legacy":
+            return LegacyReclaimPolicy()
+        raise ValueError(
+            f"unknown reclaim policy {name!r}; use 'tmo' or 'legacy'"
+        )
+
+    # ------------------------------------------------------------------
+    # assembly
+
+    def add_workload(
+        self,
+        workload_cls,
+        profile: Optional[AppProfile] = None,
+        name: Optional[str] = None,
+        size_scale: float = 1.0,
+        **workload_kwargs,
+    ) -> Workload:
+        """Create a container, its PSI domain and its workload.
+
+        Args:
+            workload_cls: :class:`Workload` or a subclass; subclasses that
+                bake in their own profile (e.g. WebWorkload) may be passed
+                with ``profile=None``.
+            profile: app profile for plain workloads.
+            name: cgroup name; defaults to a slug of the profile name.
+            size_scale: footprint multiplier (lets small hosts run the
+                production profiles).
+        """
+        if profile is not None:
+            workload_kwargs.setdefault("profile", profile)
+        cgroup_name = name or self._slug(
+            profile.name if profile is not None else workload_cls.__name__
+        )
+        comp = profile.compress_ratio if profile is not None else 3.0
+        self.mm.create_cgroup(cgroup_name, compressibility=comp)
+        self.psi.add_group(cgroup_name, now=self.clock.now)
+        workload = workload_cls(
+            self.mm, cgroup_name=cgroup_name, seed=self.config.seed,
+            **workload_kwargs,
+        )
+        workload.start(self.clock.now, size_scale=size_scale)
+        tasks = [
+            self.psi.add_task(f"{cgroup_name}/t{i}", cgroup_name)
+            for i in range(workload.profile.nthreads)
+        ]
+        self._hosted[cgroup_name] = HostedWorkload(
+            workload=workload, cgroup_name=cgroup_name, psi_tasks=tasks
+        )
+        return workload
+
+    @staticmethod
+    def _slug(name: str) -> str:
+        return name.lower().replace(" ", "-")
+
+    def add_controller(self, controller: Controller) -> Controller:
+        self._controllers.append(controller)
+        return controller
+
+    def workload(self, name: str) -> Workload:
+        return self._hosted[name].workload
+
+    def hosted(self) -> List[HostedWorkload]:
+        return list(self._hosted.values())
+
+    def kill_workload(self, name: str) -> int:
+        """Terminate a container (a userspace OOM-killer action).
+
+        Releases every page the container holds (resident and
+        offloaded), settles its PSI tasks to idle, and stops ticking its
+        workload. The cgroup itself remains, like a dead but not yet
+        removed container. Returns the number of pages released.
+        """
+        hosted = self._hosted.pop(name)
+        for task in hosted.psi_tasks:
+            self.psi.remove_task(task.name, self.clock.now)
+        return self.mm.release_cgroup_pages(name)
+
+    # ------------------------------------------------------------------
+    # the tick loop
+
+    def step(self) -> None:
+        """Advance the host by one tick."""
+        dt = self.config.tick_s
+        now0 = self.clock.now
+        results: Dict[str, TickResult] = {}
+        for name, hosted in self._hosted.items():
+            results[name] = hosted.workload.tick(now0, dt)
+            hosted.last_tick = results[name]
+
+        self._feed_psi(results, now0, dt)
+        self.clock.advance(dt)
+        now1 = self.clock.now
+        self.psi.tick(now1)
+        self.mm.on_tick(now1, dt)
+        for controller in self._controllers:
+            controller.poll(self, now1)
+        self._record(results, now1, dt)
+        self._tick_index += 1
+
+    def run(self, duration_s: float) -> None:
+        """Run the host loop for ``duration_s`` of virtual time."""
+        end = self.clock.now + duration_s
+        while self.clock.now < end - 1e-9:
+            self.step()
+
+    # ------------------------------------------------------------------
+    # scheduler model -> PSI transitions
+
+    def _feed_psi(
+        self, results: Dict[str, TickResult], now0: float, dt: float
+    ) -> None:
+        """Lay each thread's run/stall segments onto the PSI timeline."""
+        capacity = self.config.ncpu * dt
+        demand = sum(r.cpu_seconds for r in results.values())
+        cpu_share = 1.0 if demand <= capacity else capacity / demand
+
+        events: List[Tuple[float, PsiTask, TaskFlags]] = []
+        for name, hosted in self._hosted.items():
+            tick = results[name]
+            nthreads = max(1, len(hosted.psi_tasks))
+            run_demand = tick.cpu_seconds / nthreads
+            run = run_demand * cpu_share
+            wait = run_demand - run
+            durations = [
+                run,
+                tick.stall_mem_s / nthreads,
+                tick.stall_both_s / nthreads,
+                tick.stall_io_s / nthreads,
+                wait,
+            ]
+            busy = sum(durations)
+            if busy > dt:
+                scale = dt / busy
+                durations = [d * scale for d in durations]
+                busy = dt
+            durations.append(dt - busy)  # idle remainder
+
+            for t_idx, task in enumerate(hosted.psi_tasks):
+                rotation = (t_idx + self._tick_index) % len(durations)
+                cursor = now0
+                order = list(range(rotation, len(durations))) + list(
+                    range(rotation)
+                )
+                for seg in order:
+                    dur = durations[seg]
+                    if dur <= 1e-12:
+                        continue
+                    events.append((cursor, task, _SEGMENT_FLAGS[seg]))
+                    cursor += dur
+
+        events.sort(key=lambda e: e[0])
+        for when, task, flags in events:
+            task.set_flags(flags, when)
+
+    # ------------------------------------------------------------------
+    # metrics
+
+    def _device_delta(self, label: str, stats) -> Tuple[int, int, int]:
+        """Reads/writes/bytes-written deltas since the last tick."""
+        prev = self._prev_device_stats.get(label, (0, 0, 0))
+        current = (stats.reads, stats.writes, stats.bytes_written)
+        self._prev_device_stats[label] = current
+        return (
+            current[0] - prev[0],
+            current[1] - prev[1],
+            current[2] - prev[2],
+        )
+
+    def _record(
+        self, results: Dict[str, TickResult], now: float, dt: float
+    ) -> None:
+        rec = self.metrics.record
+        rec("host/free_bytes", now, self.mm.free_bytes())
+        rec("host/used_bytes", now, self.mm.used_bytes())
+        rec("host/zswap_pool_bytes", now, self.mm.zswap_pool_bytes)
+
+        fs_reads, _, _ = self._device_delta("fs", self.fs.stats)
+        rec("fs/read_rate", now, fs_reads / dt)
+        rec(
+            "fs/read_latency_p90",
+            now,
+            self.fs.stats.latencies.percentile(90.0),
+        )
+        if self.swap_backend is not None:
+            _, _, wbytes = self._device_delta(
+                "swap", self.swap_backend.stats
+            )
+            rec("swap/out_rate_mb_s", now, wbytes / dt / _MB)
+            rec("swap/stored_bytes", now, self.swap_backend.stored_bytes)
+
+        for name, hosted in self._hosted.items():
+            cg = self.mm.cgroup(name)
+            tick = results[name]
+            rec(f"{name}/resident_bytes", now, cg.resident_bytes)
+            rec(f"{name}/anon_bytes", now, cg.anon_bytes)
+            rec(f"{name}/file_bytes", now, cg.file_bytes)
+            rec(f"{name}/swap_bytes", now, cg.swap_bytes)
+            rec(f"{name}/zswap_bytes", now, cg.zswap_bytes)
+            promotions = tick.count("swapin") + tick.count("zswapin")
+            rec(f"{name}/promotion_rate", now, promotions / dt)
+            rec(f"{name}/refaults", now, tick.count("refault") / dt)
+            rec(f"{name}/rps", now, tick.work_done / dt)
+            rec(f"{name}/oom", now, 1.0 if tick.oom else 0.0)
+            group = self.psi.group(name)
+            mem = group.sample(Resource.MEMORY, now)
+            io = group.sample(Resource.IO, now)
+            rec(f"{name}/psi_mem_some_avg10", now, mem.some_avg10)
+            rec(f"{name}/psi_io_some_avg10", now, io.some_avg10)
+            rec(f"{name}/psi_mem_some_total", now, mem.some_total)
+            rec(f"{name}/psi_io_some_total", now, io.some_total)

@@ -1,0 +1,99 @@
+"""Time-series recording for experiments.
+
+Every benchmark in this repo regenerates one of the paper's figures; the
+figure data is a set of named series sampled over simulated time. The
+:class:`MetricsRecorder` collects those samples and offers the reductions
+(means, percentiles, window slices) the benchmark tables need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Series:
+    """A single named time series of ``(time, value)`` samples."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, t: float, value: float) -> None:
+        """Append one sample; time must be non-decreasing."""
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"series {self.name!r}: time went backwards "
+                f"({self.times[-1]} -> {t})"
+            )
+        self.times.append(float(t))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, values)`` as numpy arrays."""
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def window(self, start: float, end: float) -> "Series":
+        """Return the sub-series with ``start <= t < end``."""
+        out = Series(self.name)
+        for t, v in zip(self.times, self.values):
+            if start <= t < end:
+                out.times.append(t)
+                out.values.append(v)
+        return out
+
+    def mean(self) -> float:
+        """Mean of all sample values (nan when empty)."""
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    def last(self) -> float:
+        """Most recent value (nan when empty)."""
+        return self.values[-1] if self.values else float("nan")
+
+    def min(self) -> float:
+        return float(np.min(self.values)) if self.values else float("nan")
+
+    def max(self) -> float:
+        return float(np.max(self.values)) if self.values else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the sample values."""
+        if not self.values:
+            return float("nan")
+        return float(np.percentile(self.values, q))
+
+
+class MetricsRecorder:
+    """A collection of named series, created lazily on first record."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, Series] = {}
+
+    def record(self, name: str, t: float, value: float) -> None:
+        """Record one sample on the series called ``name``."""
+        series = self._series.get(name)
+        if series is None:
+            series = Series(name)
+            self._series[name] = series
+        series.record(t, value)
+
+    def series(self, name: str) -> Series:
+        """Fetch a series by name; empty series if never recorded."""
+        return self._series.get(name, Series(name))
+
+    def names(self) -> Iterable[str]:
+        return self._series.keys()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def summary(self, names: Optional[Iterable[str]] = None) -> Dict[str, float]:
+        """Mean of each requested series (all series by default)."""
+        wanted = list(names) if names is not None else list(self._series)
+        return {name: self.series(name).mean() for name in wanted}

@@ -1,0 +1,47 @@
+"""Synthetic workload models.
+
+The paper characterises its production applications by memory coldness
+(Figure 2), anonymous/file split (Figure 4), compressibility (Sections
+4.1-4.2) and sensitivity to memory-access slowdown. The generators here
+are parameterised by exactly those published characteristics, so the
+controller sees the same statistical surface the production fleet
+presented.
+"""
+
+from repro.workloads.access import HeatBands, assign_reaccess_intervals
+from repro.workloads.apps import (
+    APP_CATALOG,
+    FIG2_APPS,
+    FIG4_DOMAINS,
+    FIG9_APPS,
+    AppProfile,
+)
+from repro.workloads.base import TickResult, Workload
+from repro.workloads.diurnal import DiurnalWorkload
+from repro.workloads.tax import TAX_PROFILES, TaxWorkload
+from repro.workloads.trace import (
+    AccessTrace,
+    RecordingWorkload,
+    ReplayWorkload,
+)
+from repro.workloads.web import WebConfig, WebWorkload
+
+__all__ = [
+    "APP_CATALOG",
+    "AccessTrace",
+    "RecordingWorkload",
+    "ReplayWorkload",
+    "AppProfile",
+    "DiurnalWorkload",
+    "FIG2_APPS",
+    "FIG4_DOMAINS",
+    "FIG9_APPS",
+    "HeatBands",
+    "TAX_PROFILES",
+    "TaxWorkload",
+    "TickResult",
+    "WebConfig",
+    "WebWorkload",
+    "Workload",
+    "assign_reaccess_intervals",
+]

@@ -1,0 +1,254 @@
+"""The generic workload driver.
+
+A :class:`Workload` owns the pages of one application container and
+drives accesses against the memory manager every tick. It reports how
+much of the tick its threads spent stalled (split by pressure kind) plus
+the fault events that occurred — everything the host needs to feed PSI
+and the experiment metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.kernel.mm import MemoryManager, OutOfMemoryError
+from repro.kernel.page import Page
+from repro.sim.rng import derive_rng
+from repro.workloads.access import (
+    assign_reaccess_intervals,
+    touch_probability,
+)
+from repro.workloads.apps import AppProfile
+
+_GB = 1 << 30
+
+
+@dataclass
+class TickResult:
+    """What one workload did during one tick.
+
+    Stall buckets are wall-seconds of thread delay, split by which
+    pressure they contribute to:
+
+    * ``stall_mem_s`` — memory-only stalls (zswap loads, direct reclaim).
+    * ``stall_io_s`` — IO-only stalls (cold file reads).
+    * ``stall_both_s`` — stalls that are both (refaults, SSD swap-ins).
+    """
+
+    name: str
+    cpu_seconds: float = 0.0
+    stall_mem_s: float = 0.0
+    stall_io_s: float = 0.0
+    stall_both_s: float = 0.0
+    events: Dict[str, int] = field(default_factory=dict)
+    #: Application-level throughput this tick (requests for Web; touched
+    #: pages otherwise).
+    work_done: float = 0.0
+    #: The workload hit an out-of-memory condition this tick.
+    oom: bool = False
+
+    @property
+    def total_stall_s(self) -> float:
+        return self.stall_mem_s + self.stall_io_s + self.stall_both_s
+
+    def count(self, event: str) -> int:
+        return self.events.get(event, 0)
+
+    def _record(self, event: str) -> None:
+        self.events[event] = self.events.get(event, 0) + 1
+
+
+class Workload:
+    """Drives one application's memory accesses.
+
+    The page population is built from the profile's size, anon/file split
+    and heat bands; each tick every page is touched independently with
+    probability ``1 - exp(-dt/interval)`` and the resulting faults are
+    resolved through the memory manager.
+    """
+
+    def __init__(
+        self,
+        mm: MemoryManager,
+        profile: AppProfile,
+        cgroup_name: str,
+        seed: int,
+    ) -> None:
+        self.mm = mm
+        self.profile = profile
+        self.cgroup_name = cgroup_name
+        self._rng = derive_rng(seed, f"workload:{profile.name}:{cgroup_name}")
+        self._pages: List[Page] = []
+        self._intervals = np.empty(0)
+        self._growth_carry = 0.0
+        self.started = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self.mm.page_size
+
+    @property
+    def pages(self) -> List[Page]:
+        """The workload's page population (all states)."""
+        return self._pages
+
+    @property
+    def npages_total(self) -> int:
+        return len(self._pages)
+
+    def size_pages(self) -> int:
+        """Nominal page count from the profile's footprint."""
+        return max(1, int(self.profile.size_gb * _GB / self.page_size))
+
+    def start(self, now: float, size_scale: float = 1.0) -> None:
+        """Allocate the initial page population.
+
+        Args:
+            now: virtual time.
+            size_scale: multiplier on the profile footprint, letting
+                small test hosts run the same profiles.
+        """
+        if self.started:
+            raise RuntimeError(f"workload {self.profile.name!r} already started")
+        n_total = max(2, int(self.size_pages() * size_scale))
+        n_anon = int(round(n_total * self.profile.anon_frac))
+        n_file = n_total - n_anon
+
+        anon_pages, _ = self.mm.alloc_anon(
+            self.cgroup_name, n_anon, now,
+            compressibility=self.profile.compress_ratio,
+        )
+        file_pages, _ = self.mm.register_file(
+            self.cgroup_name, n_file, now,
+            resident=self.profile.file_preload,
+            compressibility=self.profile.compress_ratio,
+        )
+        dirty_count = int(round(n_file * self.profile.dirty_file_frac))
+        for page in file_pages[:dirty_count]:
+            page.dirty = True
+        self._pages = anon_pages + file_pages
+        self._intervals = assign_reaccess_intervals(
+            len(self._pages), self.profile.bands, self._rng,
+            never_share=self.profile.cold_never_share,
+        )
+        #: Population at start; growth models scale off this, not the
+        #: (unscaled) profile footprint.
+        self._initial_pages = len(self._pages)
+        self.started = True
+
+    def restart(self, now: float) -> None:
+        """Container restart (e.g. a code push): drop and rebuild state."""
+        scale = len(self._pages) / max(1, self.size_pages())
+        self.mm.release_cgroup_pages(self.cgroup_name)
+        self._pages = []
+        self._intervals = np.empty(0)
+        self.started = False
+        self.start(now, size_scale=scale)
+
+    # ------------------------------------------------------------------
+
+    def _accumulate(self, result, tick: TickResult) -> None:
+        """Fold one fault result into the tick's stall buckets."""
+        tick._record(result.event)
+        if result.stall_seconds <= 0:
+            return
+        if result.memstall and result.iostall:
+            tick.stall_both_s += result.stall_seconds
+        elif result.memstall:
+            tick.stall_mem_s += result.stall_seconds
+        elif result.iostall:
+            tick.stall_io_s += result.stall_seconds
+
+    def _grow(self, now: float, dt: float, tick: TickResult) -> None:
+        """Steady anonymous growth, if the profile has any."""
+        rate = self.profile.growth_gb_per_hour * _GB / 3600.0
+        if rate <= 0:
+            return
+        self._growth_carry += rate * dt / self.page_size
+        n_new = int(self._growth_carry)
+        if n_new == 0:
+            return
+        self._growth_carry -= n_new
+        self._allocate_more(n_new, now, tick)
+
+    def _allocate_more(self, n_new: int, now: float, tick: TickResult) -> int:
+        """Allocate ``n_new`` anon pages, tolerating OOM. Returns count."""
+        try:
+            new_pages, stall = self.mm.alloc_anon(
+                self.cgroup_name, n_new, now,
+                compressibility=self.profile.compress_ratio,
+            )
+        except OutOfMemoryError:
+            tick.oom = True
+            return 0
+        tick.stall_mem_s += stall
+        new_intervals = assign_reaccess_intervals(
+            len(new_pages), self.profile.bands, self._rng,
+            never_share=self.profile.cold_never_share,
+        )
+        self._pages.extend(new_pages)
+        self._intervals = np.concatenate([self._intervals, new_intervals])
+        return len(new_pages)
+
+    def shift_workingset(self, frac: float, now: float) -> int:
+        """A working-set transition: re-deal the heat of ``frac`` of the
+        page population.
+
+        Section 3.2's critique of low-level metrics: a transition makes
+        major-fault counts spike (the newly hot pages stream in from
+        disk or swap) without the host being short on memory. Returns
+        the number of pages whose heat changed.
+        """
+        if not 0.0 <= frac <= 1.0:
+            raise ValueError(f"frac must be in [0,1], got {frac}")
+        n = int(len(self._pages) * frac)
+        if n == 0:
+            return 0
+        chosen = self._rng.choice(len(self._pages), size=n, replace=False)
+        fresh = assign_reaccess_intervals(
+            n, self.profile.bands, self._rng,
+            never_share=self.profile.cold_never_share,
+        )
+        self._intervals[chosen] = fresh
+        return n
+
+    def _select_touches(self, dt: float) -> np.ndarray:
+        """Choose which page indices get touched this quantum.
+
+        Separated from execution so traces can be recorded and replayed
+        (see :mod:`repro.workloads.trace`).
+        """
+        probs = touch_probability(self._intervals, dt)
+        mask = self._rng.random(len(self._pages)) < probs
+        touched = np.nonzero(mask)[0]
+        self._rng.shuffle(touched)
+        return touched
+
+    def tick(self, now: float, dt: float) -> TickResult:
+        """Run one quantum: touch pages, resolve faults, grow."""
+        if not self.started:
+            raise RuntimeError(
+                f"workload {self.profile.name!r} was never started"
+            )
+        tick = TickResult(name=self.profile.name)
+        tick.cpu_seconds = self.profile.cpu_cores * dt
+
+        touched = self._select_touches(dt)
+        for idx in touched:
+            result = self.mm.touch(self._pages[idx], now)
+            self._accumulate(result, tick)
+        tick.work_done = float(len(touched))
+
+        self._grow(now, dt, tick)
+        return tick
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(profile={self.profile.name!r}, "
+            f"cgroup={self.cgroup_name!r}, pages={len(self._pages)})"
+        )

@@ -1,0 +1,28 @@
+"""Shared fixtures: small, fast substrate configurations for tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.helpers import make_mm
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def mm():
+    return make_mm()
+
+
+@pytest.fixture
+def mm_ssd():
+    return make_mm(backend="ssd")
+
+
+@pytest.fixture
+def mm_file_only():
+    return make_mm(backend=None)

@@ -1,0 +1,61 @@
+"""Shared construction helpers for tests (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.filesystem import FilesystemBackend
+from repro.backends.ssd import SsdSwapBackend
+from repro.backends.zswap import ZswapBackend
+from repro.kernel.mm import MemoryManager
+from repro.sim.host import Host, HostConfig
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+def make_mm(
+    ram_mb: int = 256,
+    page_kb: int = 256,
+    backend: str = "zswap",
+    policy=None,
+    seed: int = 42,
+) -> MemoryManager:
+    """A small MemoryManager with the requested backend."""
+    rng_fs = np.random.default_rng(seed)
+    rng_sw = np.random.default_rng(seed + 1)
+    fs = FilesystemBackend("C", rng_fs)
+    if backend == "zswap":
+        swap = ZswapBackend(rng_sw)
+    elif backend == "ssd":
+        swap = SsdSwapBackend("C", rng_sw, capacity_bytes=ram_mb * MB)
+    elif backend is None:
+        swap = None
+    else:
+        raise ValueError(backend)
+    return MemoryManager(
+        ram_bytes=ram_mb * MB,
+        page_size=page_kb * 1024,
+        fs=fs,
+        swap_backend=swap,
+        policy=policy,
+    )
+
+
+def small_host(
+    ram_gb: float = 2.0,
+    backend="zswap",
+    ncpu: int = 8,
+    seed: int = 42,
+    **kwargs,
+) -> Host:
+    """A small host for integration tests (1 MiB pages)."""
+    config = HostConfig(
+        ram_gb=ram_gb,
+        ncpu=ncpu,
+        page_size=1 * MB,
+        seed=seed,
+        backend=backend,
+        **kwargs,
+    )
+    return Host(config)

@@ -1,0 +1,74 @@
+"""Unit tests for memory-coldness measurement (Figure 2)."""
+
+import pytest
+
+from repro.analysis.coldness import measure_coldness
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from tests.helpers import make_mm
+
+MB = 1 << 20
+_GB = 1 << 30
+
+
+def run_profile(bands: HeatBands, duration=600.0, npages=2000):
+    mm = make_mm(ram_mb=1024, page_kb=256)
+    profile = AppProfile(
+        name="x",
+        size_gb=npages * 256 * 1024 / _GB,
+        anon_frac=0.6,
+        bands=bands,
+        compress_ratio=3.0,
+        nthreads=2,
+        cpu_cores=1.0,
+    )
+    mm.create_cgroup("app")
+    w = Workload(mm, profile, "app", seed=17)
+    w.start(0.0)
+    t = 0.0
+    while t < duration:
+        w.tick(t, 6.0)
+        t += 6.0
+    return w, t
+
+
+def test_profile_fractions_sum_to_one():
+    w, now = run_profile(HeatBands(0.5, 0.1, 0.1))
+    profile = measure_coldness(w, now)
+    total = (
+        profile.used_1min + profile.used_2min + profile.used_5min
+        + profile.cold
+    )
+    assert total == pytest.approx(1.0)
+    assert profile.warm == pytest.approx(1.0 - profile.cold)
+
+
+def test_measured_coldness_tracks_declared_bands():
+    bands = HeatBands(0.5, 0.08, 0.12)  # Feed's profile, 30% cold
+    w, now = run_profile(bands)
+    measured = measure_coldness(w, now)
+    assert measured.used_1min == pytest.approx(bands.used_1min, abs=0.12)
+    assert measured.cold == pytest.approx(bands.cold, abs=0.12)
+
+
+def test_cold_profile_measures_cold():
+    w, now = run_profile(HeatBands(0.1, 0.05, 0.05))
+    hot_w, hot_now = run_profile(HeatBands(0.8, 0.05, 0.05))
+    assert (
+        measure_coldness(w, now).cold
+        > measure_coldness(hot_w, hot_now).cold
+    )
+
+
+def test_empty_workload_rejected():
+    mm = make_mm()
+    profile = AppProfile(
+        name="x", size_gb=0.001, anon_frac=0.5,
+        bands=HeatBands(0.5, 0.1, 0.1), compress_ratio=2.0,
+    )
+    mm.create_cgroup("app")
+    w = Workload(mm, profile, "app", seed=1)
+    with pytest.raises(ValueError):
+        measure_coldness(w, 0.0)

@@ -1,0 +1,80 @@
+"""Unit tests for CSV metric export."""
+
+import pytest
+
+from repro.analysis.export import to_csv_long, to_csv_wide
+from repro.sim.metrics import MetricsRecorder
+
+
+def recorder():
+    rec = MetricsRecorder()
+    for t in range(3):
+        rec.record("a", float(t), float(t * 10))
+        rec.record("b", float(t), float(t * 100))
+    rec.record("odd", 0.5, 7.0)
+    return rec
+
+
+def test_long_format_all_series():
+    text = to_csv_long(recorder())
+    lines = text.strip().splitlines()
+    assert lines[0] == "series,time,value"
+    assert len(lines) == 1 + 3 + 3 + 1
+    assert "a,0.0,0.0" in lines
+
+
+def test_long_format_selected_series():
+    text = to_csv_long(recorder(), names=["b"])
+    assert "a," not in text
+    assert text.count("\n") == 4  # header + 3 rows
+
+
+def test_wide_format_common_axis():
+    text = to_csv_wide(recorder(), ["a", "b"])
+    lines = text.strip().splitlines()
+    assert lines[0] == "time,a,b"
+    assert lines[1] == "0.0,0.0,0.0"
+    assert lines[3] == "2.0,20.0,200.0"
+
+
+def test_wide_format_rejects_mismatched_axes():
+    with pytest.raises(ValueError):
+        to_csv_wide(recorder(), ["a", "odd"])
+
+
+def test_wide_format_needs_names():
+    with pytest.raises(ValueError):
+        to_csv_wide(recorder(), [])
+
+
+def test_escaping():
+    rec = MetricsRecorder()
+    rec.record('weird,"name', 0.0, 1.0)
+    text = to_csv_long(rec)
+    assert '"weird,""name"' in text
+
+
+def test_host_metrics_share_time_axis():
+    """Host-recorded series are exportable in wide format."""
+    from repro.workloads.access import HeatBands
+    from repro.workloads.apps import AppProfile
+    from repro.workloads.base import Workload
+
+    from tests.helpers import small_host
+
+    MB = 1 << 20
+    host = small_host(ram_gb=1.0)
+    host.add_workload(
+        Workload,
+        profile=AppProfile(
+            name="x", size_gb=100 * MB / (1 << 30), anon_frac=0.5,
+            bands=HeatBands(0.4, 0.1, 0.1), compress_ratio=2.0,
+            nthreads=2, cpu_cores=1.0,
+        ),
+        name="app",
+    )
+    host.run(10.0)
+    text = to_csv_wide(
+        host.metrics, ["app/resident_bytes", "app/psi_mem_some_avg10"]
+    )
+    assert text.count("\n") == 11

@@ -1,0 +1,37 @@
+"""Unit tests for table formatting."""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+
+
+def test_basic_table():
+    text = format_table(
+        ["app", "savings"],
+        [["Feed", 0.11], ["Web", 0.2]],
+    )
+    lines = text.splitlines()
+    assert lines[0].startswith("app")
+    assert "0.110" in lines[2]
+    assert "0.200" in lines[3]
+
+
+def test_title_prepended():
+    text = format_table(["a"], [[1]], title="Figure 9")
+    assert text.splitlines()[0] == "Figure 9"
+
+
+def test_alignment_widths():
+    text = format_table(["x"], [["longvalue"]])
+    header, rule, row = text.splitlines()
+    assert len(rule) == len("longvalue")
+
+
+def test_mismatched_row_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_non_float_cells_stringified():
+    text = format_table(["a"], [[None], ["x"], [3]])
+    assert "None" in text and "x" in text and "3" in text

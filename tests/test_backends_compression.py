@@ -1,0 +1,46 @@
+"""Unit tests for compression algorithm models."""
+
+import pytest
+
+from repro.backends.compression import (
+    COMPRESSION_ALGORITHMS,
+    compressed_size,
+)
+
+
+def test_catalog_has_the_papers_algorithms():
+    assert set(COMPRESSION_ALGORITHMS) == {"lzo", "lz4", "zstd"}
+
+
+def test_zstd_has_best_ratio():
+    ratios = {
+        name: algo.effective_ratio(3.0)
+        for name, algo in COMPRESSION_ALGORITHMS.items()
+    }
+    assert ratios["zstd"] > ratios["lzo"] > ratios["lz4"]
+
+
+def test_lz4_is_fastest():
+    speeds = {
+        name: algo.compress_us_per_4k
+        for name, algo in COMPRESSION_ALGORITHMS.items()
+    }
+    assert speeds["lz4"] < speeds["lzo"] < speeds["zstd"]
+
+
+def test_effective_ratio_never_below_one():
+    lz4 = COMPRESSION_ALGORITHMS["lz4"]
+    assert lz4.effective_ratio(1.0) == 1.0
+    assert lz4.effective_ratio(1.1) == 1.0  # 1.1 * 0.75 < 1
+
+
+def test_compressed_size_scales():
+    zstd = COMPRESSION_ALGORITHMS["zstd"]
+    assert compressed_size(4096, 4.0, zstd) == 1024
+    assert compressed_size(4096, 1.0, zstd) == 4096
+
+
+def test_compressed_size_rejects_negative():
+    zstd = COMPRESSION_ALGORITHMS["zstd"]
+    with pytest.raises(ValueError):
+        compressed_size(-1, 2.0, zstd)

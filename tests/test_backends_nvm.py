@@ -1,0 +1,104 @@
+"""Unit tests for the NVM / CXL far-memory backends."""
+
+import numpy as np
+import pytest
+
+from repro.backends.nvm import (
+    CXL_SPEC,
+    NVM_SPEC,
+    FarMemoryBackend,
+    FarMemoryFullError,
+    make_cxl,
+    make_nvm,
+)
+
+PAGE = 4096
+MB = 1 << 20
+
+
+def test_specs_ordering():
+    """CXL is faster than NVM, which is faster than any Figure 5 SSD."""
+    from repro.backends.ssd import SSD_CATALOG
+
+    assert CXL_SPEC.read_us_per_4k < NVM_SPEC.read_us_per_4k
+    fastest_ssd_p50_us = SSD_CATALOG["G"].device_spec().read_latency_p50_us
+    assert NVM_SPEC.read_us_per_4k < fastest_ssd_p50_us
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        FarMemoryBackend(NVM_SPEC, np.random.default_rng(0), 0)
+
+
+def test_store_load_free_roundtrip():
+    nvm = make_nvm(np.random.default_rng(0), capacity_bytes=16 * PAGE)
+    cost = nvm.store(PAGE, 2.0, now=0.0, page_id=1)
+    assert cost > 0.0
+    assert nvm.stored_bytes == PAGE
+    latency = nvm.load(PAGE, 2.0, now=1.0, page_id=1)
+    assert 0.5e-6 < latency < 20e-6  # ~2 us/4k with jitter
+    nvm.free(PAGE, 2.0, page_id=1)
+    assert nvm.stored_bytes == 0
+
+
+def test_capacity_enforced():
+    nvm = make_nvm(np.random.default_rng(0), capacity_bytes=PAGE)
+    nvm.store(PAGE, 2.0, now=0.0)
+    with pytest.raises(FarMemoryFullError):
+        nvm.store(PAGE, 2.0, now=0.0)
+
+
+def test_far_memory_is_not_block_io():
+    assert not make_nvm(np.random.default_rng(0), MB).blocks_on_io
+    assert not make_cxl(np.random.default_rng(0), MB).blocks_on_io
+
+
+def test_nvm_wear_tracked_cxl_not():
+    nvm = make_nvm(np.random.default_rng(0), MB)
+    cxl = make_cxl(np.random.default_rng(0), MB)
+    nvm.store(PAGE, 2.0, now=0.0)
+    cxl.store(PAGE, 2.0, now=0.0)
+    assert nvm.wear_fraction > 0.0
+    assert cxl.wear_fraction == 0.0
+
+
+def test_latency_scales_with_page_size():
+    cxl = make_cxl(np.random.default_rng(3), 64 * MB)
+    cxl.store(MB, 2.0, now=0.0, page_id=1)
+    big = cxl.load(MB, 2.0, now=1.0, page_id=1)
+    # 256 constituent pages at ~0.4us each ~ 100us.
+    assert 30e-6 < big < 400e-6
+
+
+def test_no_dram_overhead():
+    assert make_nvm(np.random.default_rng(0), MB).dram_overhead_bytes == 0
+
+
+def test_host_integration_cxl_offloads_deep():
+    """CXL's near-DRAM latency lets Senpai offload far more than an SSD
+    at the same pressure threshold — the Section 5.2 motivation."""
+    from repro.core.senpai import Senpai, SenpaiConfig
+    from repro.workloads.access import HeatBands
+    from repro.workloads.apps import AppProfile
+    from repro.workloads.base import Workload
+
+    from tests.helpers import small_host
+
+    _GB = 1 << 30
+    profile = AppProfile(
+        name="app", size_gb=600 * MB / _GB, anon_frac=0.7,
+        bands=HeatBands(0.35, 0.1, 0.1), compress_ratio=1.2,
+        cold_never_share=0.05, nthreads=2, cpu_cores=1.0,
+    )
+
+    def run(backend, model="B"):
+        host = small_host(ram_gb=1.0, backend=backend, ssd_model=model)
+        host.add_workload(Workload, profile=profile, name="app")
+        host.add_controller(Senpai(SenpaiConfig(
+            reclaim_ratio=0.005, max_step_frac=0.03,
+            write_limit_mb_s=None,
+        )))
+        host.run(1200.0)
+        return host.mm.cgroup("app").offloaded_bytes()
+
+    assert run("cxl") > run("ssd")

@@ -1,0 +1,100 @@
+"""Unit tests for the SSD catalog and SSD swap backend."""
+
+import numpy as np
+import pytest
+
+from repro.backends.ssd import (
+    SSD_CATALOG,
+    SsdSwapBackend,
+    SwapFullError,
+    make_ssd_device,
+)
+
+PAGE = 4096
+
+
+def test_catalog_has_seven_devices():
+    assert sorted(SSD_CATALOG) == list("ABCDEFG")
+
+
+def test_endurance_grows_with_generation():
+    values = [SSD_CATALOG[k].endurance_pbw for k in "ABCDEFG"]
+    assert values == sorted(values)
+    assert values[-1] / values[0] >= 10
+
+
+def test_read_latency_spans_papers_range():
+    # Figure 5: 9.3 ms down to 470 us.
+    assert SSD_CATALOG["A"].read_p99_us == pytest.approx(9300.0)
+    assert SSD_CATALOG["G"].read_p99_us == pytest.approx(470.0)
+    lats = [SSD_CATALOG[k].read_p99_us for k in "ABCDEFG"]
+    assert lats == sorted(lats, reverse=True)
+
+
+def test_fig12_fast_vs_slow_devices():
+    # "fast SSD" is C, "slow SSD" is B.
+    assert SSD_CATALOG["C"].read_p99_us < SSD_CATALOG["B"].read_p99_us
+
+
+def test_make_ssd_device_unknown_model():
+    with pytest.raises(KeyError):
+        make_ssd_device("Z", np.random.default_rng(0))
+
+
+def test_device_spec_p50_below_p99():
+    spec = SSD_CATALOG["C"].device_spec()
+    assert spec.read_latency_p50_us < SSD_CATALOG["C"].read_p99_us
+
+
+def make_backend(capacity_pages=16, model="C"):
+    return SsdSwapBackend(
+        model, np.random.default_rng(0), capacity_bytes=capacity_pages * PAGE
+    )
+
+
+def test_store_accounts_capacity_and_endurance():
+    backend = make_backend()
+    latency = backend.store(PAGE, 3.0, now=0.0)
+    assert latency > 0.0
+    assert backend.stored_bytes == PAGE
+    assert backend.endurance_bytes_written == PAGE
+    assert backend.free_bytes == 15 * PAGE
+
+
+def test_store_beyond_capacity_raises():
+    backend = make_backend(capacity_pages=1)
+    backend.store(PAGE, 3.0, now=0.0)
+    with pytest.raises(SwapFullError):
+        backend.store(PAGE, 3.0, now=0.0)
+
+
+def test_free_releases_space_but_not_endurance():
+    backend = make_backend()
+    backend.store(PAGE, 3.0, now=0.0)
+    backend.free(PAGE, 3.0)
+    assert backend.stored_bytes == 0
+    assert backend.endurance_bytes_written == PAGE  # wear is permanent
+
+
+def test_load_counts_reads():
+    backend = make_backend()
+    backend.store(PAGE, 3.0, now=0.0)
+    latency = backend.load(PAGE, 3.0, now=1.0)
+    assert latency > 0.0
+    assert backend.stats.reads == 1
+    assert backend.stats.bytes_read == PAGE
+
+
+def test_wear_fraction():
+    backend = make_backend()
+    budget = SSD_CATALOG["C"].endurance_pbw * 1e15
+    backend.endurance_bytes_written = int(budget / 2)
+    assert backend.wear_fraction == pytest.approx(0.5)
+
+
+def test_swap_blocks_on_io():
+    assert make_backend().blocks_on_io
+
+
+def test_no_dram_overhead():
+    assert make_backend().dram_overhead_bytes == 0

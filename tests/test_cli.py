@@ -1,0 +1,83 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_apps(capsys):
+    assert main(["list-apps"]) == 0
+    out = capsys.readouterr().out
+    assert "Feed" in out
+    assert "Web" in out
+    assert "zswap" in out and "ssd" in out
+
+
+def test_list_ssds(capsys):
+    assert main(["list-ssds"]) == 0
+    out = capsys.readouterr().out
+    assert "9300" in out  # device A's p99
+    assert "470" in out   # device G's p99
+
+
+def test_cost_table(capsys):
+    assert main(["cost-table"]) == 0
+    out = capsys.readouterr().out
+    assert "33.0" in out
+
+
+def test_run_host_quick(capsys):
+    code = main([
+        "run-host", "--app", "Feed", "--duration", "120",
+        "--size-scale", "0.02",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "net savings %" in out
+    assert "PSI memory" in out
+
+
+def test_run_host_unknown_app(capsys):
+    assert main(["run-host", "--app", "Nope", "--duration", "1"]) == 2
+    assert "unknown app" in capsys.readouterr().err
+
+
+def test_run_host_backend_none(capsys):
+    code = main([
+        "run-host", "--app", "Feed", "--backend", "none",
+        "--duration", "60", "--size-scale", "0.02",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    line = next(l for l in out.splitlines() if "offloaded (MB)" in l)
+    assert line.split()[-1] == "0.0"
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_host_web(capsys):
+    code = main([
+        "run-host", "--app", "Web", "--backend", "zswap",
+        "--duration", "60", "--size-scale", "0.02",
+    ])
+    assert code == 0
+
+
+def test_run_ab_quick(capsys):
+    code = main([
+        "run-ab", "--app", "Feed", "--control", "none",
+        "--treatment", "zswap", "--duration", "120",
+        "--size-scale", "0.02",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "A/B results" in out
+    assert "app/resident_bytes" in out
+
+
+def test_run_ab_unknown_app(capsys):
+    code = main(["run-ab", "--app", "Nope", "--duration", "1"])
+    assert code == 2

@@ -1,0 +1,100 @@
+"""Unit tests for the online-tuning Senpai (§3.3 future work)."""
+
+import pytest
+
+from repro.core.autotune import AutoTuneConfig, AutoTuneSenpai
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from tests.helpers import small_host
+
+MB = 1 << 20
+_GB = 1 << 30
+
+
+def profile(hot=0.2, npages=500) -> AppProfile:
+    return AppProfile(
+        name="app",
+        size_gb=npages * MB / _GB,
+        anon_frac=0.6,
+        bands=HeatBands(hot, 0.05, 0.05),
+        compress_ratio=3.0,
+        cold_never_share=0.2,
+        nthreads=2,
+        cpu_cores=1.0,
+    )
+
+
+def test_adapt_raises_when_calm():
+    tuner = AutoTuneSenpai(AutoTuneConfig(settle_periods=2))
+    base = tuner.config.reclaim_ratio
+    for _ in range(10):
+        tuner._adapt("cg", pressure=0.0)
+    assert tuner.ratio_for("cg") > base
+
+
+def test_adapt_backs_off_on_pressure():
+    tuner = AutoTuneSenpai(AutoTuneConfig(settle_periods=0))
+    for _ in range(10):
+        tuner._adapt("cg", pressure=0.0)
+    raised = tuner.ratio_for("cg")
+    tuner._adapt("cg", pressure=1.5)
+    assert tuner.ratio_for("cg") == pytest.approx(raised * 0.5)
+
+
+def test_ratio_bounds_respected():
+    config = AutoTuneConfig(settle_periods=0, ratio_max=0.002)
+    tuner = AutoTuneSenpai(config)
+    for _ in range(200):
+        tuner._adapt("cg", pressure=0.0)
+    assert tuner.ratio_for("cg") == pytest.approx(0.002)
+    for _ in range(200):
+        tuner._adapt("cg", pressure=2.0)
+    assert tuner.ratio_for("cg") == pytest.approx(config.ratio_min)
+
+
+def test_mid_pressure_holds_steady():
+    tuner = AutoTuneSenpai(AutoTuneConfig(settle_periods=0))
+    base = tuner.ratio_for("cg")
+    for _ in range(20):
+        tuner._adapt("cg", pressure=0.8)  # between raise_below and 1.0
+    assert tuner.ratio_for("cg") == pytest.approx(base)
+
+
+def test_autotune_beats_fixed_production_config_on_cold_workload():
+    """On a cold, tolerant workload the tuner finds a faster ratio than
+    the fixed production trickle, saving more in the same time."""
+    def run(controller):
+        host = small_host(ram_gb=1.0, backend="zswap")
+        host.add_workload(Workload, profile=profile(), name="app")
+        host.add_controller(controller)
+        host.run(1800.0)
+        return host.mm.cgroup("app").offloaded_bytes()
+
+    fixed = run(Senpai(SenpaiConfig()))
+    tuned = run(AutoTuneSenpai(AutoTuneConfig()))
+    assert tuned > 1.3 * fixed
+
+
+def test_autotune_still_respects_threshold_on_hot_workload():
+    host = small_host(ram_gb=1.0, backend="zswap")
+    host.add_workload(Workload, profile=profile(hot=0.85), name="app")
+    tuner = host.add_controller(AutoTuneSenpai(AutoTuneConfig()))
+    host.run(1800.0)
+    from repro.psi.types import Resource
+
+    sample = host.psi.group("app").sample(
+        Resource.MEMORY, host.clock.now
+    )
+    # Tuning never overrides the pressure contract.
+    assert sample.some_avg300 < 0.01
+
+
+def test_ratio_series_recorded():
+    host = small_host(ram_gb=1.0, backend="zswap")
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.add_controller(AutoTuneSenpai(AutoTuneConfig()))
+    host.run(120.0)
+    assert "app/senpai_ratio" in host.metrics

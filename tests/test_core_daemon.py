@@ -1,0 +1,80 @@
+"""Unit tests for the file-protocol Senpai daemon."""
+
+import pytest
+
+from repro.core.daemon import (
+    SenpaiDaemon,
+    SenpaiDaemonConfig,
+    parse_some_total_us,
+)
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from tests.helpers import small_host
+
+MB = 1 << 20
+_GB = 1 << 30
+
+
+def profile(npages=500) -> AppProfile:
+    return AppProfile(
+        name="cool",
+        size_gb=npages * MB / _GB,
+        anon_frac=0.6,
+        bands=HeatBands(0.2, 0.05, 0.05),
+        compress_ratio=3.0,
+        nthreads=2,
+        cpu_cores=1.0,
+    )
+
+
+def test_parse_some_total():
+    text = ("some avg10=0.12 avg60=0.05 avg300=0.01 total=123456\n"
+            "full avg10=0.00 avg60=0.00 avg300=0.00 total=42")
+    assert parse_some_total_us(text) == 123456
+
+
+def test_parse_rejects_non_pressure_text():
+    with pytest.raises(ValueError):
+        parse_some_total_us("anon 12345")
+
+
+def test_daemon_requires_explicit_cgroups():
+    with pytest.raises(ValueError):
+        SenpaiDaemon(SenpaiDaemonConfig())
+
+
+def test_daemon_offloads_through_control_files():
+    host = small_host(ram_gb=1.0, backend="zswap")
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.add_controller(
+        SenpaiDaemon(SenpaiDaemonConfig(cgroups=("app",)))
+    )
+    host.run(900.0)
+    assert host.mm.cgroup("app").zswap_bytes > 0
+    # It never installed a limit: pure memory.reclaim.
+    assert host.mm.cgroup("app").memory_max is None
+
+
+def test_daemon_matches_in_process_senpai():
+    """The file-protocol daemon and the in-process controller implement
+    the same control law; on identical hosts (sans write regulation)
+    they must offload comparable volumes."""
+    def run(controller_factory):
+        host = small_host(ram_gb=1.0, backend="zswap", seed=11)
+        host.add_workload(Workload, profile=profile(), name="app")
+        host.add_controller(controller_factory())
+        host.run(1200.0)
+        return host.mm.cgroup("app").offloaded_bytes()
+
+    daemon_offload = run(
+        lambda: SenpaiDaemon(SenpaiDaemonConfig(cgroups=("app",)))
+    )
+    senpai_offload = run(
+        lambda: Senpai(SenpaiConfig(write_limit_mb_s=None))
+    )
+    assert daemon_offload > 0
+    ratio = daemon_offload / senpai_offload
+    assert 0.5 < ratio < 2.0

@@ -1,0 +1,77 @@
+"""Unit tests for the legacy limit-based Senpai (Section 3.3)."""
+
+from repro.core.limits import LimitSenpai, LimitSenpaiConfig
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from tests.helpers import small_host
+
+MB = 1 << 20
+_GB = 1 << 30
+
+
+def profile(npages=500, growth_gb_per_hour=0.0) -> AppProfile:
+    return AppProfile(
+        name="app",
+        size_gb=npages * MB / _GB,
+        anon_frac=0.6,
+        bands=HeatBands(0.2, 0.05, 0.05),
+        compress_ratio=3.0,
+        nthreads=2,
+        cpu_cores=1.0,
+        growth_gb_per_hour=growth_gb_per_hour,
+    )
+
+
+def test_installs_and_shrinks_limit():
+    host = small_host(ram_gb=1.0)
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.add_controller(LimitSenpai(LimitSenpaiConfig()))
+    host.run(300.0)
+    cg = host.mm.cgroup("app")
+    assert cg.memory_max is not None
+    assert cg.memory_max <= int(500 * MB * 1.02)
+
+
+def test_limit_reclaims_memory():
+    host = small_host(ram_gb=1.0)
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.add_controller(
+        LimitSenpai(LimitSenpaiConfig(shrink_frac=0.005))
+    )
+    host.run(900.0)
+    assert host.mm.cgroup("app").offloaded_bytes() > 0
+
+
+def test_expanding_workload_hits_the_stale_limit():
+    """The pathology that motivated memory.reclaim: growth under a
+    stateful limit forces direct reclaim on the allocation path."""
+    grow = profile(npages=300, growth_gb_per_hour=600 * MB * 3.6 / _GB)
+    host = small_host(ram_gb=1.0)
+    host.add_workload(Workload, profile=grow, name="app")
+    host.add_controller(
+        LimitSenpai(LimitSenpaiConfig(shrink_frac=0.001))
+    )
+    host.run(600.0)
+    cg = host.mm.cgroup("app")
+    assert cg.vmstat.direct_reclaim > 0
+
+
+def test_limit_raised_under_pressure():
+    config = LimitSenpaiConfig(psi_threshold=0.0)  # everything is "over"
+    host = small_host(ram_gb=1.0)
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.add_controller(LimitSenpai(config))
+    host.run(60.0)
+    series = host.metrics.series("app/memory_max")
+    assert len(series) >= 2
+    assert series.values[-1] >= series.values[0]
+
+
+def test_metrics_recorded():
+    host = small_host(ram_gb=1.0)
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.add_controller(LimitSenpai(LimitSenpaiConfig()))
+    host.run(120.0)
+    assert "app/memory_max" in host.metrics

@@ -1,0 +1,86 @@
+"""Unit tests for Senpai's reclaim-sizing formula (Section 3.3)."""
+
+import pytest
+
+from repro.core.policy import reclaim_amount
+
+GB = 1 << 30
+
+
+def test_zero_pressure_full_step():
+    step = reclaim_amount(
+        current_mem=GB, psi_some=0.0, psi_threshold=0.001,
+        reclaim_ratio=0.0005,
+    )
+    assert step == int(GB * 0.0005)
+
+
+def test_pressure_at_threshold_stops_reclaim():
+    step = reclaim_amount(
+        current_mem=GB, psi_some=0.001, psi_threshold=0.001,
+        reclaim_ratio=0.0005,
+    )
+    assert step == 0
+
+
+def test_pressure_above_threshold_stops_reclaim():
+    step = reclaim_amount(
+        current_mem=GB, psi_some=0.05, psi_threshold=0.001,
+        reclaim_ratio=0.0005,
+    )
+    assert step == 0
+
+
+def test_linear_backoff_toward_threshold():
+    half = reclaim_amount(
+        current_mem=GB, psi_some=0.0005, psi_threshold=0.001,
+        reclaim_ratio=0.0005,
+    )
+    full = reclaim_amount(
+        current_mem=GB, psi_some=0.0, psi_threshold=0.001,
+        reclaim_ratio=0.0005,
+    )
+    assert half == pytest.approx(full / 2, abs=1)
+
+
+def test_step_capped_at_max_fraction():
+    step = reclaim_amount(
+        current_mem=GB, psi_some=0.0, psi_threshold=0.001,
+        reclaim_ratio=0.5,  # absurd ratio
+        max_step_frac=0.01,
+    )
+    assert step == int(GB * 0.01)
+
+
+def test_scales_with_current_memory():
+    small = reclaim_amount(GB, 0.0, 0.001, 0.0005)
+    large = reclaim_amount(10 * GB, 0.0, 0.001, 0.0005)
+    assert large == pytest.approx(10 * small, abs=10)
+
+
+def test_zero_memory_zero_step():
+    assert reclaim_amount(0, 0.0, 0.001, 0.0005) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        reclaim_amount(-1, 0.0, 0.001, 0.0005)
+    with pytest.raises(ValueError):
+        reclaim_amount(GB, 0.0, 0.0, 0.0005)
+    with pytest.raises(ValueError):
+        reclaim_amount(GB, 0.0, 0.001, -0.1)
+
+
+def test_contraction_rate_is_minutes_scale():
+    """Section 3.3: reaction to extreme contraction tends to be minutes.
+
+    At the production config (0.05% per 6 s period, zero pressure), a
+    10% contraction takes ~20 minutes of periods.
+    """
+    mem = GB
+    periods = 0
+    while mem > 0.9 * GB:
+        mem -= reclaim_amount(mem, 0.0, 0.001, 0.0005)
+        periods += 1
+    minutes = periods * 6.0 / 60.0
+    assert 5.0 < minutes < 60.0

@@ -1,0 +1,154 @@
+"""Integration-style unit tests for the Senpai controller."""
+
+import pytest
+
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from tests.helpers import small_host
+
+MB = 1 << 20
+_GB = 1 << 30
+
+
+def cool_profile(npages=600) -> AppProfile:
+    """A very cold workload: lots of offloading opportunity."""
+    return AppProfile(
+        name="cool",
+        size_gb=npages * MB / _GB,
+        anon_frac=0.6,
+        bands=HeatBands(0.2, 0.05, 0.05),
+        compress_ratio=3.0,
+        nthreads=2,
+        cpu_cores=1.0,
+    )
+
+
+def run_host(config: SenpaiConfig, duration=900.0, backend="zswap"):
+    host = small_host(ram_gb=1.0, backend=backend)
+    host.add_workload(Workload, profile=cool_profile(), name="app")
+    senpai = host.add_controller(Senpai(config))
+    host.run(duration)
+    return host, senpai
+
+
+def test_senpai_offloads_cold_memory():
+    host, senpai = run_host(SenpaiConfig())
+    cg = host.mm.cgroup("app")
+    assert cg.zswap_bytes > 0
+    assert senpai.total_reclaimed > 0
+
+
+def test_senpai_respects_poll_interval():
+    host = small_host(ram_gb=1.0)
+    host.add_workload(Workload, profile=cool_profile(), name="app")
+    senpai = host.add_controller(Senpai(SenpaiConfig(interval_s=60.0)))
+    host.run(120.0)
+    series = host.metrics.series("app/senpai_reclaim")
+    # ~2 reclaim decisions in 120 s at a 60 s period (plus none at t=0).
+    assert 1 <= len(series) <= 3
+
+
+def test_config_defaults_match_paper():
+    config = SenpaiConfig()
+    assert config.interval_s == 6.0
+    assert config.psi_threshold == pytest.approx(0.001)
+    assert config.reclaim_ratio == pytest.approx(0.0005)
+    assert config.max_step_frac == pytest.approx(0.01)
+
+
+def test_config_b_is_more_aggressive():
+    a, b = SenpaiConfig.config_a(), SenpaiConfig.config_b()
+    assert b.reclaim_ratio > a.reclaim_ratio
+    assert b.psi_threshold > a.psi_threshold
+
+
+def test_aggressive_config_saves_more():
+    _, senpai_a = run_host(SenpaiConfig.config_a())
+    _, senpai_b = run_host(SenpaiConfig.config_b())
+    assert senpai_b.total_reclaimed > senpai_a.total_reclaimed
+
+
+def test_pressure_backoff_limits_reclaim():
+    """A hot workload must be left mostly alone."""
+    hot = AppProfile(
+        name="hot",
+        size_gb=600 * MB / _GB,
+        anon_frac=0.6,
+        bands=HeatBands(0.90, 0.05, 0.03),
+        compress_ratio=3.0,
+        nthreads=2,
+        cpu_cores=1.0,
+    )
+    host = small_host(ram_gb=1.0)
+    host.add_workload(Workload, profile=hot, name="app")
+    host.add_controller(Senpai(SenpaiConfig()))
+    host.run(900.0)
+    cold_host, _ = run_host(SenpaiConfig())
+    hot_offloaded = host.mm.cgroup("app").offloaded_bytes()
+    cold_offloaded = cold_host.mm.cgroup("app").offloaded_bytes()
+    assert hot_offloaded < cold_offloaded
+
+
+def test_file_only_mode_never_touches_anon():
+    host, _ = run_host(
+        SenpaiConfig(file_only_mode=True), backend="zswap"
+    )
+    cg = host.mm.cgroup("app")
+    assert cg.zswap_bytes == 0
+    assert cg.swap_bytes == 0
+
+
+def test_explicit_cgroup_targets():
+    host = small_host(ram_gb=1.0)
+    host.add_workload(Workload, profile=cool_profile(300), name="a")
+    host.add_workload(Workload, profile=cool_profile(300), name="b")
+    host.add_controller(Senpai(SenpaiConfig(cgroups=("a",))))
+    host.run(600.0)
+    assert host.mm.cgroup("a").offloaded_bytes() > 0
+    assert host.mm.cgroup("b").offloaded_bytes() == 0
+
+
+def test_write_regulation_activates_on_ssd():
+    config = SenpaiConfig(
+        write_limit_mb_s=0.05,  # tiny budget to force regulation
+        reclaim_ratio=0.01, max_step_frac=0.05,
+    )
+    host, senpai = run_host(config, backend="ssd", duration=600.0)
+    assert senpai.regulator is not None
+    # The regulator observed writes and is now constraining them.
+    assert senpai.regulator.observed_rate_mb_s >= 0.0
+    rate = host.metrics.series("swap/out_rate_mb_s")
+    # Late-window rate must be pulled near the budget.
+    late = rate.window(400.0, 600.0)
+    assert late.mean() < 0.5  # well below unregulated demand
+
+
+def test_senpai_on_parent_slice_reclaims_all_children():
+    """Senpai targeting workload.slice spreads reclaim over the app and
+    its sidecars — the hierarchy handling Section 1 calls out."""
+    host = small_host(ram_gb=1.5)
+    host.mm.create_cgroup("workload.slice")
+    host.psi.add_group("workload.slice")
+    for name in ("svc-a", "svc-b"):
+        host.mm.create_cgroup(name, parent="workload.slice")
+        host.psi.add_group(name, parent="workload.slice")
+        workload = Workload(host.mm, cool_profile(300), name, seed=5)
+        workload.start(0.0)
+        tasks = [
+            host.psi.add_task(f"{name}/t{i}", name) for i in range(2)
+        ]
+        from repro.sim.host import HostedWorkload
+        host._hosted[name] = HostedWorkload(
+            workload=workload, cgroup_name=name, psi_tasks=tasks
+        )
+    host.add_controller(Senpai(SenpaiConfig(
+        cgroups=("workload.slice",),
+        reclaim_ratio=0.003, max_step_frac=0.02,
+    )))
+    host.run(600.0)
+    assert host.mm.cgroup("svc-a").offloaded_bytes() > 0
+    assert host.mm.cgroup("svc-b").offloaded_bytes() > 0
+    assert host.mm.cgroup("workload.slice").current_bytes() < 600 << 20

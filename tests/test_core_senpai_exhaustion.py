@@ -1,0 +1,82 @@
+"""Senpai's swap-exhaustion and endurance modulation (Section 3.3).
+
+"Senpai has additional mechanisms to modulate reclaim in certain events
+such as SSD write endurance thresholds being exceeded or swap space
+exhaustion."
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.ssd import SsdSwapBackend
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from tests.helpers import small_host
+
+MB = 1 << 20
+_GB = 1 << 30
+
+
+def cold_profile(npages=600) -> AppProfile:
+    return AppProfile(
+        name="cold",
+        size_gb=npages * MB / _GB,
+        anon_frac=0.7,
+        bands=HeatBands(0.15, 0.05, 0.05),
+        compress_ratio=2.0,
+        nthreads=2,
+        cpu_cores=1.0,
+    )
+
+
+def test_tiny_swap_stops_anon_reclaim_at_margin():
+    # 40 MB of swap on a workload with hundreds of MB of cold anon.
+    host = small_host(ram_gb=1.0, backend="ssd", swap_gb=40 / 1024)
+    host.add_workload(Workload, profile=cold_profile(), name="app")
+    senpai = host.add_controller(
+        Senpai(SenpaiConfig(reclaim_ratio=0.005, max_step_frac=0.03,
+                            write_limit_mb_s=None,
+                            swap_free_margin_frac=0.10))
+    )
+    host.run(900.0)
+    backend = host.swap_backend
+    # Swap filled only up to (capacity - margin); Senpai backed off to
+    # file-only instead of running the device to zero.
+    assert backend.free_bytes >= 0.05 * backend.capacity_bytes
+    assert backend.stored_bytes > 0
+    # Reclaim kept going on the file side regardless.
+    assert host.mm.cgroup("app").vmstat.workingset_evict > 0
+
+
+def test_endurance_threshold_stops_anon_reclaim():
+    host = small_host(ram_gb=1.0, backend="ssd")
+    host.add_workload(Workload, profile=cold_profile(), name="app")
+    # Pretend the device already consumed 95% of its rated endurance.
+    backend = host.swap_backend
+    backend.endurance_bytes_written = int(
+        0.95 * backend.spec.endurance_pbw * 1e15
+    )
+    host.add_controller(
+        Senpai(SenpaiConfig(reclaim_ratio=0.005, max_step_frac=0.03,
+                            write_limit_mb_s=None,
+                            endurance_limit_frac=0.90))
+    )
+    wear_before = backend.endurance_bytes_written
+    host.run(600.0)
+    # No further swap writes on a worn-out device.
+    assert backend.endurance_bytes_written == wear_before
+    assert host.mm.cgroup("app").swap_bytes == 0
+
+
+def test_healthy_swap_is_used_normally():
+    host = small_host(ram_gb=1.0, backend="ssd", swap_gb=8.0)
+    host.add_workload(Workload, profile=cold_profile(), name="app")
+    host.add_controller(
+        Senpai(SenpaiConfig(reclaim_ratio=0.005, max_step_frac=0.03,
+                            write_limit_mb_s=None))
+    )
+    host.run(600.0)
+    assert host.mm.cgroup("app").swap_bytes > 0

@@ -1,0 +1,68 @@
+"""Unit tests for SSD write-endurance regulation (Section 4.5)."""
+
+import pytest
+
+from repro.core.write_regulation import WriteRegulator
+
+MB = 1 << 20
+
+
+def test_under_budget_full_allowance():
+    reg = WriteRegulator(limit_mb_s=1.0, window_s=10.0)
+    reg.update(bytes_written_total=5 * MB, dt=10.0)  # 0.5 MB/s
+    assert reg.allowance() == 1.0
+    assert not reg.file_only()
+
+
+def test_over_budget_scales_down():
+    reg = WriteRegulator(limit_mb_s=1.0, window_s=10.0)
+    reg.update(bytes_written_total=15 * MB, dt=10.0)  # 1.5 MB/s
+    assert reg.allowance() == pytest.approx(1.0 / 1.5, rel=0.01)
+    assert not reg.file_only()
+
+
+def test_severe_overshoot_forces_file_only():
+    reg = WriteRegulator(limit_mb_s=1.0, window_s=10.0)
+    reg.update(bytes_written_total=50 * MB, dt=10.0)  # 5 MB/s
+    assert reg.file_only()
+    assert reg.allowance() == pytest.approx(0.2, rel=0.01)
+
+
+def test_rate_is_smoothed():
+    reg = WriteRegulator(limit_mb_s=1.0, window_s=100.0)
+    reg.update(bytes_written_total=100 * MB, dt=1.0)  # brief 100 MB/s burst
+    # One second of burst against a 100 s window: rate ~1 MB/s.
+    assert reg.observed_rate_mb_s == pytest.approx(1.0, rel=0.05)
+
+
+def test_counter_is_cumulative():
+    reg = WriteRegulator(limit_mb_s=1.0, window_s=1.0)
+    reg.update(10 * MB, dt=1.0)
+    reg.update(10 * MB, dt=1.0)  # no new writes
+    assert reg.observed_rate_mb_s == pytest.approx(0.0, abs=0.01)
+
+
+def test_zero_dt_ignored():
+    reg = WriteRegulator()
+    reg.update(10 * MB, dt=0.0)
+    assert reg.observed_rate_mb_s == 0.0
+
+
+def test_invalid_limit_rejected():
+    with pytest.raises(ValueError):
+        WriteRegulator(limit_mb_s=0.0)
+
+
+def test_convergence_onto_limit():
+    """Closed loop: writing at allowance * attempted rate converges to
+    the configured limit (the Figure 14 clamp)."""
+    reg = WriteRegulator(limit_mb_s=1.0, window_s=30.0)
+    attempted_mb_s = 8.0
+    total = 0
+    achieved = []
+    for _ in range(300):
+        rate = attempted_mb_s * reg.allowance()
+        total += int(rate * MB)
+        reg.update(total, dt=1.0)
+        achieved.append(rate)
+    assert sum(achieved[-50:]) / 50 == pytest.approx(1.0, rel=0.15)

@@ -1,0 +1,39 @@
+"""Keep docs/API.md in sync with the public surface."""
+
+import importlib.util
+import pathlib
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "gen_api", REPO / "docs" / "gen_api.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_api_md_is_current(tmp_path):
+    gen = load_generator()
+    committed = (REPO / "docs" / "API.md").read_text()
+    gen.OUT = tmp_path / "API.md"
+    gen.main()
+    fresh = gen.OUT.read_text()
+    assert committed == fresh, (
+        "docs/API.md is stale; run `python docs/gen_api.py`"
+    )
+
+
+def test_api_md_covers_core_modules():
+    text = (REPO / "docs" / "API.md").read_text()
+    for module in (
+        "repro.psi.group",
+        "repro.kernel.mm",
+        "repro.core.senpai",
+        "repro.backends.zswap",
+        "repro.workloads.base",
+        "repro.sim.host",
+    ):
+        assert f"## `{module}`" in text

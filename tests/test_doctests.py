@@ -1,0 +1,33 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.backends.compression
+import repro.core.daemon
+import repro.kernel.controlfs
+import repro.psi.group
+import repro.psi.trigger
+import repro.sim.clock
+
+MODULES = [
+    repro.backends.compression,
+    repro.core.daemon,
+    repro.kernel.controlfs,
+    repro.psi.group,
+    repro.psi.trigger,
+    repro.sim.clock,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    # At least the modules we picked actually contain examples.
+    if module in (repro.sim.clock, repro.psi.trigger,
+                  repro.core.daemon):
+        assert results.attempted > 0

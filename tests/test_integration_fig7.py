@@ -1,0 +1,115 @@
+"""Figure 7 reproduced exactly: the paper's worked PSI example.
+
+Two processes, execution normalised to 100% and partitioned into four
+quarters. In the first quarter only one process stalls at a time and
+12.5% of time is ``some``; in the second, 6.25% has both stalled
+(``full``) plus 18.75% more with only one stalled.
+"""
+
+import pytest
+
+from repro.psi.group import FULL, SOME
+from repro.psi.tracker import PsiSystem
+from repro.psi.types import Resource, TaskFlags
+
+RUN = TaskFlags.RUNNING
+MEM = TaskFlags.MEMSTALL
+
+#: Total timeline length (seconds); percentages map 1:1.
+T = 100.0
+
+
+def build_schedule():
+    """The Figure 7 timeline as (time, task, flags) transitions.
+
+    Quarter 1 [0, 25):   A stalls 6.25, B stalls 6.25, disjoint
+                         -> some 12.5, full 0.
+    Quarter 2 [25, 50):  B stalls the whole quarter, A stalls 6.25
+                         inside it -> some 25 (18.75 some-only),
+                         full 6.25.
+    Quarter 3 [50, 75):  both stall the same 6.25 window
+                         -> some 6.25, full 6.25.
+    Quarter 4 [75, 100): A stalls 12.5, B runs throughout
+                         -> some 12.5, full 0.
+    """
+    events = []
+    # Both processes start running.
+    events += [(0.0, "A", RUN), (0.0, "B", RUN)]
+    # Q1: disjoint stalls.
+    events += [(5.0, "A", MEM), (11.25, "A", RUN)]
+    events += [(15.0, "B", MEM), (21.25, "B", RUN)]
+    # Q2: B stalled all quarter; A overlaps 6.25 inside.
+    events += [(25.0, "B", MEM)]
+    events += [(35.0, "A", MEM), (41.25, "A", RUN)]
+    events += [(50.0, "B", RUN)]
+    # Q3: fully overlapping stalls.
+    events += [(60.0, "A", MEM), (60.0, "B", MEM)]
+    events += [(66.25, "A", RUN), (66.25, "B", RUN)]
+    # Q4: a single some-only stall.
+    events += [(80.0, "A", MEM), (92.5, "A", RUN)]
+    return events
+
+
+def run_schedule():
+    psi = PsiSystem(ncpu=2)
+    psi.add_group("domain")
+    tasks = {
+        "A": psi.add_task("A", "domain"),
+        "B": psi.add_task("B", "domain"),
+    }
+    for when, name, flags in sorted(build_schedule(), key=lambda e: e[0]):
+        tasks[name].set_flags(flags, when)
+    psi.tick(T)
+    return psi.group("domain")
+
+
+def test_total_some_matches_figure():
+    group = run_schedule()
+    # 12.5 + 25 + 6.25 + 12.5 = 56.25% of the timeline.
+    assert group.total(Resource.MEMORY, SOME) == pytest.approx(56.25)
+
+
+def test_total_full_matches_figure():
+    group = run_schedule()
+    # 6.25 (Q2) + 6.25 (Q3) = 12.5%.
+    assert group.total(Resource.MEMORY, FULL) == pytest.approx(12.5)
+
+
+def test_quarter_by_quarter_accounting():
+    psi = PsiSystem(ncpu=2)
+    psi.add_group("domain")
+    tasks = {
+        "A": psi.add_task("A", "domain"),
+        "B": psi.add_task("B", "domain"),
+    }
+    group = psi.group("domain")
+    quarters = []
+    events = sorted(build_schedule(), key=lambda e: e[0])
+    boundaries = [25.0, 50.0, 75.0, 100.0]
+    prev_some = prev_full = 0.0
+    i = 0
+    for boundary in boundaries:
+        while i < len(events) and events[i][0] < boundary:
+            when, name, flags = events[i]
+            tasks[name].set_flags(flags, when)
+            i += 1
+        group.tick(boundary)
+        some = group.total(Resource.MEMORY, SOME)
+        full = group.total(Resource.MEMORY, FULL)
+        quarters.append((some - prev_some, full - prev_full))
+        prev_some, prev_full = some, full
+
+    q1, q2, q3, q4 = quarters
+    assert q1 == (pytest.approx(12.5), pytest.approx(0.0))
+    assert q2 == (pytest.approx(25.0), pytest.approx(6.25))
+    # Q2's some-only share is the paper's "in addition, 18.75%".
+    assert q2[0] - q2[1] == pytest.approx(18.75)
+    assert q3 == (pytest.approx(6.25), pytest.approx(6.25))
+    assert q4 == (pytest.approx(12.5), pytest.approx(0.0))
+
+
+def test_some_never_below_full_at_any_quarter():
+    group = run_schedule()
+    assert group.total(Resource.MEMORY, SOME) >= group.total(
+        Resource.MEMORY, FULL
+    )

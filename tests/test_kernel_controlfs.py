@@ -1,0 +1,168 @@
+"""Unit tests for the cgroupfs-style control-file façade."""
+
+import pytest
+
+from repro.kernel.controlfs import ControlFileError, ControlFs, parse_bytes
+from repro.psi.tracker import PsiSystem
+from repro.psi.types import TaskFlags
+
+from tests.helpers import make_mm
+
+PAGE = 256 * 1024
+
+
+def make_fs():
+    mm = make_mm()
+    psi = PsiSystem(ncpu=4)
+    mm.create_cgroup("app")
+    psi.add_group("app")
+    return ControlFs(mm, psi), mm, psi
+
+
+# ----------------------------------------------------------------------
+# byte parsing
+
+
+def test_parse_bytes_plain():
+    assert parse_bytes("4096") == 4096
+
+
+def test_parse_bytes_suffixes():
+    assert parse_bytes("100M") == 100 << 20
+    assert parse_bytes("2G") == 2 << 30
+    assert parse_bytes("1K") == 1024
+    assert parse_bytes("1.5M") == int(1.5 * (1 << 20))
+
+
+def test_parse_bytes_unit_forms():
+    assert parse_bytes("100MB") == 100 << 20
+    assert parse_bytes("100MiB") == 100 << 20
+    assert parse_bytes("100m") == 100 << 20
+
+
+def test_parse_bytes_rejects_garbage():
+    for bad in ("", "abc", "10X", "-5M"):
+        with pytest.raises(ValueError):
+            parse_bytes(bad)
+
+
+# ----------------------------------------------------------------------
+# reads
+
+
+def test_memory_current():
+    fs, mm, _ = make_fs()
+    mm.alloc_anon("app", 4, now=0.0)
+    assert fs.read("app/memory.current", 0.0) == str(4 * PAGE)
+
+
+def test_memory_max_reads_max_when_unlimited():
+    fs, _, _ = make_fs()
+    assert fs.read("app/memory.max", 0.0) == "max"
+
+
+def test_memory_stat_fields():
+    fs, mm, _ = make_fs()
+    mm.alloc_anon("app", 2, now=0.0)
+    stat = dict(
+        line.split() for line in fs.read("app/memory.stat", 0.0).splitlines()
+    )
+    assert int(stat["anon"]) == 2 * PAGE
+    assert "workingset_refault" in stat
+    assert "pswpout" in stat
+
+
+def test_pressure_file_format():
+    fs, _, _ = make_fs()
+    text = fs.read("app/memory.pressure", 0.0)
+    assert text.startswith("some avg10=")
+    assert "full avg10=" in text
+
+
+def test_full_slash_paths_accepted():
+    fs, mm, _ = make_fs()
+    mm.alloc_anon("app", 1, now=0.0)
+    assert fs.read("workload.slice/app/memory.current", 0.0) == str(PAGE)
+
+
+def test_unknown_cgroup_rejected():
+    fs, _, _ = make_fs()
+    with pytest.raises(ControlFileError):
+        fs.read("ghost/memory.current", 0.0)
+
+
+def test_unknown_file_rejected():
+    fs, _, _ = make_fs()
+    with pytest.raises(ControlFileError):
+        fs.read("app/memory.bogus", 0.0)
+
+
+# ----------------------------------------------------------------------
+# writes
+
+
+def test_write_memory_max_reclaims():
+    fs, mm, _ = make_fs()
+    mm.alloc_anon("app", 8, now=0.0)
+    fs.write("app/memory.max", str(4 * PAGE), 1.0)
+    assert mm.cgroup("app").current_bytes() <= 4 * PAGE
+    assert fs.read("app/memory.max", 1.0) == str(4 * PAGE)
+
+
+def test_write_memory_max_back_to_max():
+    fs, mm, _ = make_fs()
+    fs.write("app/memory.max", "100M", 0.0)
+    fs.write("app/memory.max", "max", 1.0)
+    assert mm.cgroup("app").memory_max is None
+
+
+def test_write_memory_reclaim():
+    fs, mm, _ = make_fs()
+    mm.alloc_anon("app", 8, now=0.0)
+    fs.write("app/memory.reclaim", str(2 * PAGE), 1.0)
+    assert mm.cgroup("app").resident_bytes == 6 * PAGE
+    assert mm.cgroup("app").memory_max is None  # stateless
+
+
+def test_memory_reclaim_swappiness_zero_is_file_only():
+    fs, mm, _ = make_fs()
+    mm.alloc_anon("app", 8, now=0.0)
+    mm.register_file("app", 8, now=0.0, resident=True)
+    fs.write("app/memory.reclaim", f"{4 * PAGE} swappiness=0", 1.0)
+    cg = mm.cgroup("app")
+    assert cg.zswap_bytes == 0 and cg.swap_bytes == 0
+    assert cg.file_bytes < 8 * PAGE
+
+
+def test_memory_reclaim_rejects_bad_options():
+    fs, mm, _ = make_fs()
+    mm.alloc_anon("app", 2, now=0.0)
+    with pytest.raises(ControlFileError):
+        fs.write("app/memory.reclaim", "1M frobnicate=1", 0.0)
+    with pytest.raises(ControlFileError):
+        fs.write("app/memory.reclaim", "", 0.0)
+
+
+def test_read_only_files_reject_writes():
+    fs, _, _ = make_fs()
+    with pytest.raises(ControlFileError):
+        fs.write("app/memory.current", "0", 0.0)
+
+
+def test_pressure_write_registers_trigger():
+    fs, _, psi = make_fs()
+    fs.write("app/memory.pressure", "some 150000 1000000", 0.0)
+    trigger = fs.trigger("app/memory.pressure")
+    assert trigger.spec.stall_threshold_s == pytest.approx(0.15)
+
+    # Drive the group into stall; poll must surface the fired trigger.
+    task = psi.add_task("t", "app")
+    task.set_flags(TaskFlags.MEMSTALL, 0.0)
+    fired = fs.poll(1.0)
+    assert fired == ["app/memory.pressure"]
+
+
+def test_trigger_lookup_without_registration():
+    fs, _, _ = make_fs()
+    with pytest.raises(ControlFileError):
+        fs.trigger("app/memory.pressure")

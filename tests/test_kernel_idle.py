@@ -1,0 +1,91 @@
+"""Unit tests for idle-page tracking and age histograms."""
+
+import pytest
+
+from repro.kernel.idle import (
+    DEFAULT_AGE_BUCKETS_S,
+    AgeHistogram,
+    IdlePageTracker,
+)
+
+from tests.helpers import make_mm
+
+PAGE = 256 * 1024
+
+
+def test_histogram_bucket_assignment():
+    hist = AgeHistogram(edges=(60.0, 300.0))
+    for age in (10.0, 59.9, 100.0, 299.0, 300.0, 9000.0):
+        hist.add(age)
+    assert hist.counts == [2, 2, 2]
+    assert hist.total_pages == 6
+
+
+def test_histogram_rejects_unsorted_edges():
+    with pytest.raises(ValueError):
+        AgeHistogram(edges=(300.0, 60.0))
+
+
+def test_fraction_older_than():
+    hist = AgeHistogram(edges=(60.0, 300.0))
+    for age in (10.0, 100.0, 400.0, 500.0):
+        hist.add(age)
+    assert hist.fraction_older_than(300.0) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        hist.fraction_older_than(123.0)
+
+
+def test_empty_histogram_fraction_zero():
+    hist = AgeHistogram(edges=(60.0,))
+    assert hist.fraction_older_than(60.0) == 0.0
+
+
+def test_scan_counts_only_resident_pages():
+    mm = make_mm()
+    mm.create_cgroup("app")
+    mm.alloc_anon("app", 10, now=0.0)
+    mm.memory_reclaim("app", 3 * PAGE, now=1.0)
+    tracker = IdlePageTracker(mm)
+    hist = tracker.scan("app", now=100.0)
+    assert hist.total_pages == 7  # 3 pages offloaded
+
+
+def test_scan_ages_from_last_access():
+    mm = make_mm()
+    mm.create_cgroup("app")
+    pages, _ = mm.alloc_anon("app", 4, now=0.0)
+    mm.touch(pages[0], now=950.0)
+    tracker = IdlePageTracker(mm)
+    hist = tracker.scan("app", now=1000.0, buckets=(60.0, 500.0))
+    # One page touched 50 s ago; three idle for 1000 s.
+    assert hist.counts == [1, 0, 3]
+
+
+def test_cold_bytes_threshold():
+    mm = make_mm()
+    mm.create_cgroup("app")
+    pages, _ = mm.alloc_anon("app", 6, now=0.0)
+    for page in pages[:2]:
+        mm.touch(page, now=990.0)
+    tracker = IdlePageTracker(mm)
+    assert tracker.cold_bytes("app", now=1000.0,
+                              age_threshold_s=60.0) == 4 * PAGE
+
+
+def test_scan_cpu_cost_scales_with_pages():
+    """The overhead TMO avoids: scanning costs CPU per page, every scan."""
+    mm = make_mm()
+    mm.create_cgroup("app")
+    mm.alloc_anon("app", 50, now=0.0)
+    tracker = IdlePageTracker(mm)
+    tracker.scan("app", now=10.0)
+    one_scan = tracker.scan_cpu_seconds
+    tracker.scan("app", now=20.0)
+    assert tracker.scan_cpu_seconds == pytest.approx(2 * one_scan)
+    assert tracker.pages_scanned == 100
+
+
+def test_default_buckets_cover_figure2_windows():
+    assert 60.0 in DEFAULT_AGE_BUCKETS_S
+    assert 120.0 in DEFAULT_AGE_BUCKETS_S
+    assert 300.0 in DEFAULT_AGE_BUCKETS_S

@@ -1,0 +1,166 @@
+"""Unit tests for the LRU lists and the active/inactive pair."""
+
+from repro.kernel.lru import LruList, LruSet
+from repro.kernel.page import Page, PageKind
+
+
+def page(pid: int, kind=PageKind.ANON) -> Page:
+    return Page(page_id=pid, kind=kind, cgroup="g")
+
+
+def test_empty_list():
+    lru = LruList("l")
+    assert len(lru) == 0
+    assert lru.tail() is None
+    assert lru.pop_tail() is None
+
+
+def test_head_insert_order():
+    lru = LruList("l")
+    a, b = page(1), page(2)
+    lru.add_to_head(a)
+    lru.add_to_head(b)
+    assert lru.tail() is a  # a is coldest
+
+
+def test_readding_rotates_to_head():
+    lru = LruList("l")
+    a, b = page(1), page(2)
+    lru.add_to_head(a)
+    lru.add_to_head(b)
+    lru.add_to_head(a)  # a becomes hottest again
+    assert lru.tail() is b
+
+
+def test_add_to_tail():
+    lru = LruList("l")
+    a, b = page(1), page(2)
+    lru.add_to_head(a)
+    lru.add_to_tail(b)
+    assert lru.pop_tail() is b
+
+
+def test_remove_and_discard():
+    lru = LruList("l")
+    a = page(1)
+    lru.add_to_head(a)
+    lru.remove(a)
+    assert len(lru) == 0
+    lru.discard(a)  # absent: no error
+
+
+def test_iteration_cold_to_hot():
+    lru = LruList("l")
+    pages = [page(i) for i in range(3)]
+    for p in pages:
+        lru.add_to_head(p)
+    assert [p.page_id for p in lru] == [0, 1, 2]
+
+
+def test_new_pages_enter_inactive():
+    lruset = LruSet(PageKind.FILE, "g")
+    p = page(1, PageKind.FILE)
+    lruset.insert_new(p)
+    assert not p.active
+    assert len(lruset.inactive) == 1
+    assert len(lruset.active) == 0
+
+
+def test_second_touch_promotes():
+    lruset = LruSet(PageKind.FILE, "g")
+    p = page(1, PageKind.FILE)
+    lruset.insert_new(p)
+    assert not lruset.touch(p)  # first touch: reference bit only
+    assert p.referenced
+    assert lruset.touch(p)      # second touch: promotion
+    assert p.active
+    assert len(lruset.active) == 1
+    assert len(lruset.inactive) == 0
+
+
+def test_touch_active_page_rotates():
+    lruset = LruSet(PageKind.ANON, "g")
+    a, b = page(1), page(2)
+    lruset.insert_active(a)
+    lruset.insert_active(b)
+    lruset.touch(a)
+    assert lruset.active.tail() is b
+
+
+def test_insert_active_for_refaults():
+    lruset = LruSet(PageKind.FILE, "g")
+    p = page(1, PageKind.FILE)
+    lruset.insert_active(p)
+    assert p.active
+    assert len(lruset.active) == 1
+
+
+def test_remove_from_either_list():
+    lruset = LruSet(PageKind.ANON, "g")
+    a, b = page(1), page(2)
+    lruset.insert_new(a)
+    lruset.insert_active(b)
+    lruset.remove(a)
+    lruset.remove(b)
+    assert len(lruset) == 0
+
+
+def test_needs_deactivation_ratio():
+    lruset = LruSet(PageKind.ANON, "g")
+    for i in range(5):
+        lruset.insert_active(page(i))
+    assert lruset.needs_deactivation()  # 5 active vs 0 inactive
+    lruset.insert_new(page(10))
+    lruset.insert_new(page(11))
+    lruset.insert_new(page(12))
+    assert not lruset.needs_deactivation()  # 5 <= 2*3
+
+
+def test_deactivate_one_moves_cold_active():
+    lruset = LruSet(PageKind.ANON, "g")
+    a, b = page(1), page(2)
+    lruset.insert_active(a)
+    lruset.insert_active(b)
+    demoted = lruset.deactivate_one()
+    assert demoted is a
+    assert not a.active
+    assert len(lruset.inactive) == 1
+
+
+def test_deactivate_gives_referenced_page_second_chance():
+    lruset = LruSet(PageKind.ANON, "g")
+    a = page(1)
+    lruset.insert_active(a)
+    a.referenced = True
+    assert lruset.deactivate_one() is None  # rotated, bit cleared
+    assert not a.referenced
+    assert a.active
+
+
+def test_scan_tail_evicts_unreferenced():
+    lruset = LruSet(PageKind.FILE, "g")
+    a = page(1, PageKind.FILE)
+    lruset.insert_new(a)
+    victim, evictable = lruset.scan_tail()
+    assert victim is a
+    assert evictable
+    assert len(lruset) == 0
+
+
+def test_scan_tail_reactivates_referenced():
+    lruset = LruSet(PageKind.FILE, "g")
+    a = page(1, PageKind.FILE)
+    lruset.insert_new(a)
+    a.referenced = True
+    victim, evictable = lruset.scan_tail()
+    assert victim is a
+    assert not evictable
+    assert a.active  # second chance promoted it
+    assert len(lruset.active) == 1
+
+
+def test_scan_tail_empty():
+    lruset = LruSet(PageKind.FILE, "g")
+    victim, evictable = lruset.scan_tail()
+    assert victim is None
+    assert not evictable

@@ -1,0 +1,86 @@
+"""Unit tests for memory.low protection and container priorities."""
+
+import pytest
+
+from tests.helpers import make_mm
+
+PAGE = 256 * 1024
+
+
+def test_protected_flag():
+    mm = make_mm()
+    mm.create_cgroup("app")
+    cg = mm.cgroup("app")
+    assert not cg.protected()  # default: no protection
+    mm.alloc_anon("app", 10, now=0.0)
+    cg.memory_low = 20 * PAGE
+    assert cg.protected()      # usage below the floor
+    mm.alloc_anon("app", 15, now=1.0)
+    assert not cg.protected()  # grew beyond the floor
+
+
+def test_reclaim_skips_protected_sibling():
+    mm = make_mm()
+    mm.create_cgroup("slice")
+    mm.create_cgroup("precious", parent="slice")
+    mm.create_cgroup("bulk", parent="slice")
+    mm.alloc_anon("precious", 20, now=0.0)
+    mm.alloc_anon("bulk", 20, now=0.0)
+    mm.cgroup("precious").memory_low = 30 * PAGE
+    mm.memory_reclaim("slice", 10 * PAGE, now=1.0)
+    assert mm.cgroup("precious").resident_bytes == 20 * PAGE
+    assert mm.cgroup("bulk").resident_bytes <= 10 * PAGE
+
+
+def test_protection_is_best_effort():
+    """When every candidate is protected, reclaim proceeds anyway."""
+    mm = make_mm()
+    mm.create_cgroup("slice")
+    mm.create_cgroup("a", parent="slice")
+    mm.create_cgroup("b", parent="slice")
+    mm.alloc_anon("a", 10, now=0.0)
+    mm.alloc_anon("b", 10, now=0.0)
+    mm.cgroup("a").memory_low = 100 * PAGE
+    mm.cgroup("b").memory_low = 100 * PAGE
+    outcome = mm.memory_reclaim("slice", 4 * PAGE, now=1.0)
+    assert outcome.reclaimed_bytes >= 4 * PAGE
+
+
+def test_partial_protection_over_low():
+    """A cgroup above its memory.low is fair game."""
+    mm = make_mm()
+    mm.create_cgroup("app")
+    mm.alloc_anon("app", 40, now=0.0)
+    mm.cgroup("app").memory_low = 10 * PAGE
+    outcome = mm.memory_reclaim("app", 5 * PAGE, now=1.0)
+    assert outcome.reclaimed_bytes == 5 * PAGE
+
+
+def test_memory_low_control_file():
+    from repro.kernel.controlfs import ControlFs
+    from repro.psi.tracker import PsiSystem
+
+    mm = make_mm()
+    psi = PsiSystem(ncpu=4)
+    mm.create_cgroup("app")
+    psi.add_group("app")
+    fs = ControlFs(mm, psi)
+    assert fs.read("app/memory.low", 0.0) == "0"
+    fs.write("app/memory.low", "10M", 0.0)
+    assert mm.cgroup("app").memory_low == 10 << 20
+    assert fs.read("app/memory.low", 0.0) == str(10 << 20)
+    fs.write("app/memory.low", "0", 0.0)
+    assert mm.cgroup("app").memory_low == 0
+
+
+def test_global_reclaim_respects_protection():
+    mm = make_mm(ram_mb=16, backend="zswap")  # 64 pages
+    mm.create_cgroup("precious")
+    mm.create_cgroup("bulk")
+    mm.alloc_anon("precious", 20, now=0.0)
+    mm.cgroup("precious").memory_low = 30 * PAGE
+    mm.alloc_anon("bulk", 40, now=0.0)
+    # Host is full; this alloc triggers global reclaim, which must
+    # come out of "bulk".
+    mm.alloc_anon("bulk", 4, now=1.0)
+    assert mm.cgroup("precious").resident_bytes == 20 * PAGE

@@ -1,0 +1,84 @@
+"""Unit tests for shadow entries and refault detection."""
+
+from repro.kernel.shadow import ShadowMap
+
+
+def test_clock_starts_at_zero():
+    shadow = ShadowMap()
+    assert shadow.eviction_clock == 0
+    assert len(shadow) == 0
+
+
+def test_eviction_advances_clock():
+    shadow = ShadowMap()
+    assert shadow.record_eviction(1) == 0
+    assert shadow.record_eviction(2) == 1
+    assert shadow.eviction_clock == 2
+
+
+def test_reuse_distance_counts_interleaving_evictions():
+    shadow = ShadowMap()
+    shadow.record_eviction(1)
+    for other in range(100, 105):
+        shadow.record_eviction(other)
+    assert shadow.reuse_distance(1) == 6
+    assert shadow.reuse_distance(104) == 1
+
+
+def test_no_shadow_no_distance():
+    shadow = ShadowMap()
+    assert shadow.reuse_distance(42) is None
+
+
+def test_refault_within_working_set():
+    shadow = ShadowMap()
+    shadow.record_eviction(1)
+    shadow.record_eviction(2)
+    # Distance of page 1 is 2 <= resident size 10: a refault.
+    assert shadow.consume(1, resident_pages=10)
+
+
+def test_cold_fault_beyond_working_set():
+    shadow = ShadowMap()
+    shadow.record_eviction(1)
+    for other in range(2, 30):
+        shadow.record_eviction(other)
+    # Distance 29 > resident size 10: not part of the working set.
+    assert not shadow.consume(1, resident_pages=10)
+
+
+def test_consume_removes_entry():
+    shadow = ShadowMap()
+    shadow.record_eviction(1)
+    shadow.consume(1, resident_pages=10)
+    assert shadow.reuse_distance(1) is None
+
+
+def test_consume_without_shadow_is_cold():
+    shadow = ShadowMap()
+    assert not shadow.consume(99, resident_pages=1000)
+
+
+def test_forget_drops_entry():
+    shadow = ShadowMap()
+    shadow.record_eviction(1)
+    shadow.forget(1)
+    assert len(shadow) == 0
+    shadow.forget(1)  # idempotent
+
+
+def test_capacity_bound_prunes_oldest():
+    shadow = ShadowMap(capacity=3)
+    for pid in range(5):
+        shadow.record_eviction(pid)
+    assert len(shadow) == 3
+    assert shadow.reuse_distance(0) is None  # pruned
+    assert shadow.reuse_distance(4) is not None
+
+
+def test_re_eviction_updates_stamp():
+    shadow = ShadowMap()
+    shadow.record_eviction(1)
+    shadow.record_eviction(2)
+    shadow.record_eviction(1)  # evicted again later
+    assert shadow.reuse_distance(1) == 1

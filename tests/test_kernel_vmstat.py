@@ -1,0 +1,65 @@
+"""Unit tests for vmstat counters and rate estimation."""
+
+import pytest
+
+from repro.kernel.vmstat import RateEstimator, VmStat
+
+
+def test_snapshot_is_independent_copy():
+    stat = VmStat()
+    stat.pswpin = 5
+    snap = stat.snapshot()
+    stat.pswpin = 10
+    assert snap.pswpin == 5
+
+
+def test_delta():
+    stat = VmStat()
+    stat.pgscan = 100
+    earlier = stat.snapshot()
+    stat.pgscan = 150
+    stat.pswpout = 7
+    delta = stat.delta(earlier)
+    assert delta.pgscan == 50
+    assert delta.pswpout == 7
+    assert delta.pgmajfault == 0
+
+
+def test_add_accumulates_for_fleet_aggregation():
+    a = VmStat(pswpin=1, pgscan=2)
+    b = VmStat(pswpin=10, pgsteal=3)
+    a.add(b)
+    assert a.pswpin == 11
+    assert a.pgscan == 2
+    assert a.pgsteal == 3
+
+
+def test_rate_estimator_steady_rate():
+    est = RateEstimator(window_s=10.0)
+    count = 0
+    for _ in range(50):
+        count += 20  # 20 events per 2s = 10/s
+        est.update(count, dt=2.0)
+    assert est.rate == pytest.approx(10.0, rel=1e-3)
+
+
+def test_rate_estimator_decays():
+    est = RateEstimator(window_s=10.0)
+    est.update(100, dt=10.0)
+    assert est.rate == pytest.approx(10.0)
+    for _ in range(20):
+        est.update(100, dt=10.0)
+    assert est.rate == pytest.approx(0.0, abs=1e-6)
+
+
+def test_rate_estimator_ignores_zero_dt():
+    est = RateEstimator()
+    est.update(100, dt=0.0)
+    assert est.rate == 0.0
+
+
+def test_rate_estimator_counter_regression_clamped():
+    est = RateEstimator(window_s=1.0)
+    est.update(100, dt=1.0)
+    est.update(50, dt=1.0)  # counter went backwards (restart)
+    assert est.rate >= 0.0

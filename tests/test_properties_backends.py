@@ -1,0 +1,141 @@
+"""Property-based tests on backend models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.base import IoKind
+from repro.backends.compression import COMPRESSION_ALGORITHMS, compressed_size
+from repro.backends.device import DeviceSpec, QueuedDevice
+from repro.backends.ssd import SsdSwapBackend
+from repro.backends.tiered import TieredBackend
+from repro.backends.zswap import ZSWAP_ALLOCATORS, ZswapBackend
+
+PAGE = 4096
+
+
+# ----------------------------------------------------------------------
+# compression
+
+
+@given(
+    nbytes=st.integers(min_value=0, max_value=1 << 22),
+    ratio=st.floats(min_value=1.0, max_value=20.0, allow_nan=False),
+    algorithm=st.sampled_from(sorted(COMPRESSION_ALGORITHMS)),
+)
+def test_compressed_size_bounded(nbytes, ratio, algorithm):
+    algo = COMPRESSION_ALGORITHMS[algorithm]
+    size = compressed_size(nbytes, ratio, algo)
+    assert 0 <= size <= nbytes + 1
+
+
+@given(
+    ratio=st.floats(min_value=1.0, max_value=20.0, allow_nan=False),
+)
+def test_zstd_never_worse_than_lz4(ratio):
+    zstd = COMPRESSION_ALGORITHMS["zstd"]
+    lz4 = COMPRESSION_ALGORITHMS["lz4"]
+    assert zstd.effective_ratio(ratio) >= lz4.effective_ratio(ratio)
+
+
+@given(
+    nbytes=st.integers(min_value=1, max_value=1 << 20),
+    compressed=st.integers(min_value=0, max_value=1 << 20),
+    allocator=st.sampled_from(sorted(ZSWAP_ALLOCATORS)),
+)
+def test_allocator_footprint_bounded(nbytes, compressed, allocator):
+    compressed = min(compressed, nbytes)
+    alloc = ZSWAP_ALLOCATORS[allocator]
+    footprint = alloc.stored_footprint(nbytes, compressed)
+    # Never bigger than raw, never better than the per-page cap.
+    assert footprint <= nbytes
+    assert footprint >= int(nbytes / alloc.max_pages_per_page) - 1
+
+
+# ----------------------------------------------------------------------
+# device model
+
+
+@given(
+    ops=st.lists(st.sampled_from([IoKind.READ, IoKind.WRITE]),
+                 min_size=1, max_size=100),
+    iops=st.floats(min_value=10.0, max_value=1e6),
+)
+@settings(max_examples=50)
+def test_device_latency_positive_and_util_bounded(ops, iops):
+    spec = DeviceSpec("d", read_iops=iops, write_iops=iops,
+                      read_latency_p50_us=100.0,
+                      write_latency_p50_us=100.0)
+    device = QueuedDevice(spec, np.random.default_rng(0))
+    for kind in ops:
+        assert device.issue(kind) > 0.0
+    device.on_tick(0.0, dt=1.0)
+    assert 0.0 <= device.utilization <= 0.95
+
+
+# ----------------------------------------------------------------------
+# zswap pool accounting
+
+
+@given(
+    pages=st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=50)
+def test_zswap_pool_books_balance(pages):
+    backend = ZswapBackend(np.random.default_rng(0))
+    live = []
+    for i, (ratio, also_free) in enumerate(pages):
+        backend.store(PAGE, ratio, now=0.0, page_id=i)
+        live.append((i, ratio))
+        if also_free and live:
+            pid, r = live.pop(0)
+            backend.free(PAGE, r, page_id=pid)
+        assert backend.stored_bytes == len(live) * PAGE
+        assert 0 <= backend.pool_bytes <= backend.stored_bytes
+    # Freeing everything leaves an empty pool.
+    for pid, r in live:
+        backend.free(PAGE, r, page_id=pid)
+    assert backend.pool_bytes == 0
+    assert backend.stored_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# tiered placement
+
+
+@given(
+    stores=st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=10000.0,
+                      allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=50)
+def test_tiered_placement_total_and_consistency(stores):
+    tiered = TieredBackend(
+        ZswapBackend(np.random.default_rng(0)),
+        SsdSwapBackend("C", np.random.default_rng(1),
+                       capacity_bytes=1 << 20),
+    )
+    for i, (ratio, age) in enumerate(stores):
+        tiered.store(PAGE, ratio, now=0.0, page_id=i, age_s=age)
+        tier = tiered.tier_of(i)
+        assert tier in ("zswap", "ssd")
+        # Placement policy consistency (no pool-full spills at this
+        # scale): incompressible or very cold pages are on SSD.
+        if ratio < tiered.compress_threshold or age >= tiered.cold_age_s:
+            assert tier == "ssd"
+    counts = tiered.tier_counts()
+    assert counts["zswap"] + counts["ssd"] == len(stores)
+    assert tiered.stored_bytes == len(stores) * PAGE

@@ -1,0 +1,74 @@
+"""Unit tests for the PSI running averages."""
+
+import math
+
+import pytest
+
+from repro.psi.avgs import PSI_AVG_PERIOD, PSI_WINDOWS, RunningAverages
+
+
+def test_windows_match_the_kernel():
+    assert PSI_WINDOWS == (10.0, 60.0, 300.0)
+    assert PSI_AVG_PERIOD == 2.0
+
+
+def test_initially_zero():
+    avgs = RunningAverages()
+    assert avgs.avg10 == 0.0
+    assert avgs.avg60 == 0.0
+    assert avgs.avg300 == 0.0
+
+
+def test_single_full_period_update():
+    avgs = RunningAverages()
+    avgs.update(total=2.0)  # fully stalled for one 2s period
+    expected = 1.0 - math.exp(-2.0 / 10.0)
+    assert avgs.avg10 == pytest.approx(expected)
+
+
+def test_converges_to_constant_pressure():
+    avgs = RunningAverages()
+    total = 0.0
+    for _ in range(500):
+        total += 0.5  # 25% stall per 2s period
+        avgs.update(total)
+    assert avgs.avg10 == pytest.approx(0.25, abs=1e-3)
+    assert avgs.avg300 == pytest.approx(0.25, abs=0.02)
+
+
+def test_shorter_window_reacts_faster():
+    avgs = RunningAverages()
+    total = 0.0
+    for _ in range(5):
+        total += 2.0
+        avgs.update(total)
+    assert avgs.avg10 > avgs.avg60 > avgs.avg300 > 0.0
+
+
+def test_sample_clamped_to_one():
+    avgs = RunningAverages()
+    avgs.update(total=100.0)  # bogus: more stall than wall time
+    assert avgs.avg10 <= 1.0 - math.exp(-0.2) + 1e-12
+
+
+def test_negative_delta_treated_as_zero():
+    avgs = RunningAverages()
+    avgs.update(total=2.0)
+    before = avgs.avg10
+    avgs.update(total=1.0)  # totals are monotonic; guard anyway
+    assert avgs.avg10 < before  # decayed toward zero, not negative
+    assert avgs.avg10 >= 0.0
+
+
+def test_rejects_nonpositive_period():
+    avgs = RunningAverages()
+    with pytest.raises(ValueError):
+        avgs.update(total=1.0, period=0.0)
+
+
+def test_decay_to_zero_without_stall():
+    avgs = RunningAverages()
+    avgs.update(total=2.0)
+    for _ in range(100):
+        avgs.update(total=2.0)  # no new stall
+    assert avgs.avg10 == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,142 @@
+"""Unit tests for PSI group aggregation (some/full integrals)."""
+
+import pytest
+
+from repro.psi.group import FULL, SOME, PsiGroup, format_pressure_file
+from repro.psi.types import Resource, TaskFlags
+
+RUN = TaskFlags.RUNNING
+MEM = TaskFlags.MEMSTALL
+IO = TaskFlags.IOSTALL
+NONE = TaskFlags.NONE
+
+
+def test_requires_at_least_one_cpu():
+    with pytest.raises(ValueError):
+        PsiGroup("bad", ncpu=0)
+
+
+def test_no_stall_no_accrual():
+    group = PsiGroup("g", ncpu=4)
+    group.change_task_state(NONE, RUN, 0.0)
+    group.tick(10.0)
+    assert group.total(Resource.MEMORY, SOME) == 0.0
+    assert group.total(Resource.IO, SOME) == 0.0
+
+
+def test_some_accrues_while_one_task_stalled():
+    group = PsiGroup("g", ncpu=4)
+    group.change_task_state(NONE, RUN, 0.0)   # task A runs
+    group.change_task_state(NONE, MEM, 0.0)   # task B stalls
+    group.change_task_state(MEM, RUN, 3.0)    # B recovers at t=3
+    group.tick(10.0)
+    assert group.total(Resource.MEMORY, SOME) == pytest.approx(3.0)
+    # A was productive the whole time: no full pressure.
+    assert group.total(Resource.MEMORY, FULL) == 0.0
+
+
+def test_full_accrues_when_all_nonidle_stalled():
+    group = PsiGroup("g", ncpu=4)
+    group.change_task_state(NONE, MEM, 0.0)
+    group.change_task_state(NONE, MEM, 0.0)
+    group.tick(2.0)
+    assert group.total(Resource.MEMORY, SOME) == pytest.approx(2.0)
+    assert group.total(Resource.MEMORY, FULL) == pytest.approx(2.0)
+
+
+def test_full_with_idle_bystander():
+    # A sleeping task is invisible: one stalled task alone is "full".
+    group = PsiGroup("g", ncpu=4)
+    group.change_task_state(NONE, MEM, 0.0)
+    group.tick(1.0)
+    assert group.total(Resource.MEMORY, FULL) == pytest.approx(1.0)
+
+
+def test_some_is_superset_of_full():
+    group = PsiGroup("g", ncpu=2)
+    group.change_task_state(NONE, MEM, 0.0)
+    group.change_task_state(NONE, RUN, 0.0)
+    group.change_task_state(RUN, MEM, 1.0)   # now both stalled
+    group.change_task_state(MEM, RUN, 2.0)   # one recovers
+    group.tick(3.0)
+    some = group.total(Resource.MEMORY, SOME)
+    full = group.total(Resource.MEMORY, FULL)
+    assert some == pytest.approx(3.0)
+    assert full == pytest.approx(1.0)
+    assert some >= full
+
+
+def test_io_and_memory_are_independent():
+    group = PsiGroup("g", ncpu=2)
+    group.change_task_state(NONE, IO, 0.0)
+    group.tick(2.0)
+    assert group.total(Resource.IO, SOME) == pytest.approx(2.0)
+    assert group.total(Resource.MEMORY, SOME) == 0.0
+
+
+def test_combined_stall_hits_both_resources():
+    group = PsiGroup("g", ncpu=2)
+    group.change_task_state(NONE, MEM | IO, 0.0)
+    group.tick(1.5)
+    assert group.total(Resource.MEMORY, SOME) == pytest.approx(1.5)
+    assert group.total(Resource.IO, SOME) == pytest.approx(1.5)
+
+
+def test_cpu_pressure_from_runnable_waiters():
+    group = PsiGroup("g", ncpu=1)
+    group.change_task_state(NONE, RUN, 0.0)
+    group.change_task_state(NONE, TaskFlags.RUNNABLE, 0.0)
+    group.tick(4.0)
+    assert group.total(Resource.CPU, SOME) == pytest.approx(4.0)
+    assert group.total(Resource.CPU, FULL) == 0.0
+
+
+def test_time_reversal_rejected():
+    group = PsiGroup("g", ncpu=1)
+    group.change_task_state(NONE, RUN, 5.0)
+    with pytest.raises(ValueError):
+        group.change_task_state(RUN, NONE, 4.0)
+
+
+def test_mismatched_transition_detected():
+    group = PsiGroup("g", ncpu=1)
+    with pytest.raises(RuntimeError):
+        group.change_task_state(MEM, NONE, 0.0)  # never entered MEM
+
+
+def test_running_averages_update_on_tick():
+    group = PsiGroup("g", ncpu=1)
+    group.change_task_state(NONE, MEM, 0.0)
+    group.tick(20.0)  # several 2s average periods, fully stalled
+    sample = group.sample(Resource.MEMORY, 20.0)
+    assert sample.some_avg10 > 0.5
+    assert sample.some_total == pytest.approx(20.0)
+
+
+def test_productivity_loss_caps_at_compute_potential():
+    group = PsiGroup("g", ncpu=2)
+    for _ in range(4):
+        group.change_task_state(NONE, MEM, 0.0)
+    # 4 stalled tasks, potential capped at 2 CPUs: 100% loss, not 200%.
+    assert group.productivity_loss(Resource.MEMORY) == pytest.approx(1.0)
+
+
+def test_productivity_loss_partial():
+    group = PsiGroup("g", ncpu=4)
+    group.change_task_state(NONE, MEM, 0.0)
+    group.change_task_state(NONE, RUN, 0.0)
+    assert group.productivity_loss(Resource.MEMORY) == pytest.approx(0.5)
+
+
+def test_productivity_loss_empty_group_is_zero():
+    group = PsiGroup("g", ncpu=4)
+    assert group.productivity_loss(Resource.MEMORY) == 0.0
+
+
+def test_format_pressure_file_shape():
+    group = PsiGroup("g", ncpu=4)
+    text = format_pressure_file(group, Resource.MEMORY, now=0.0)
+    lines = text.splitlines()
+    assert lines[0].startswith("some avg10=")
+    assert lines[1].startswith("full avg10=")
+    assert "total=0" in lines[0]

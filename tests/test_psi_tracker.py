@@ -1,0 +1,123 @@
+"""Unit tests for the PSI task registry and hierarchy routing."""
+
+import pytest
+
+from repro.psi.group import SOME
+from repro.psi.tracker import PsiSystem
+from repro.psi.types import Resource, TaskFlags
+
+MEM = TaskFlags.MEMSTALL
+RUN = TaskFlags.RUNNING
+NONE = TaskFlags.NONE
+
+
+def test_system_group_always_exists():
+    psi = PsiSystem(ncpu=4)
+    assert psi.group("system") is psi.system
+
+
+def test_add_group_and_task():
+    psi = PsiSystem(ncpu=4)
+    psi.add_group("web")
+    task = psi.add_task("web/t0", "web")
+    assert task.flags == NONE
+
+
+def test_duplicate_group_rejected():
+    psi = PsiSystem(ncpu=4)
+    psi.add_group("web")
+    with pytest.raises(ValueError):
+        psi.add_group("web")
+
+
+def test_unknown_parent_rejected():
+    psi = PsiSystem(ncpu=4)
+    with pytest.raises(KeyError):
+        psi.add_group("child", parent="ghost")
+
+
+def test_duplicate_task_rejected():
+    psi = PsiSystem(ncpu=4)
+    psi.add_group("web")
+    psi.add_task("t", "web")
+    with pytest.raises(ValueError):
+        psi.add_task("t", "web")
+
+
+def test_stall_propagates_to_system_group():
+    psi = PsiSystem(ncpu=4)
+    psi.add_group("web")
+    task = psi.add_task("t", "web")
+    task.set_flags(MEM, 0.0)
+    task.set_flags(NONE, 2.0)
+    assert psi.some_total("web", Resource.MEMORY) == pytest.approx(2.0)
+    assert psi.some_total("system", Resource.MEMORY) == pytest.approx(2.0)
+
+
+def test_stall_propagates_through_parent_chain():
+    psi = PsiSystem(ncpu=4)
+    psi.add_group("slice")
+    psi.add_group("slice/web", parent="slice")
+    task = psi.add_task("t", "slice/web")
+    task.set_flags(MEM, 0.0)
+    task.set_flags(NONE, 1.0)
+    assert psi.some_total("slice/web", Resource.MEMORY) == pytest.approx(1.0)
+    assert psi.some_total("slice", Resource.MEMORY) == pytest.approx(1.0)
+    assert psi.some_total("system", Resource.MEMORY) == pytest.approx(1.0)
+
+
+def test_sibling_group_unaffected():
+    psi = PsiSystem(ncpu=4)
+    psi.add_group("a")
+    psi.add_group("b")
+    task = psi.add_task("t", "a")
+    task.set_flags(MEM, 0.0)
+    task.set_flags(NONE, 1.0)
+    assert psi.some_total("b", Resource.MEMORY) == 0.0
+
+
+def test_system_some_is_union_not_sum():
+    # Two groups stalled over the same interval: the machine-wide some
+    # counts the union of the wall time, not the sum of task stalls.
+    psi = PsiSystem(ncpu=4)
+    psi.add_group("a")
+    psi.add_group("b")
+    ta = psi.add_task("ta", "a")
+    tb = psi.add_task("tb", "b")
+    ta.set_flags(MEM, 0.0)
+    tb.set_flags(MEM, 0.0)
+    ta.set_flags(NONE, 2.0)
+    tb.set_flags(NONE, 2.0)
+    assert psi.some_total("system", Resource.MEMORY) == pytest.approx(2.0)
+
+
+def test_redundant_set_flags_is_a_noop():
+    psi = PsiSystem(ncpu=4)
+    psi.add_group("g")
+    task = psi.add_task("t", "g")
+    task.set_flags(RUN, 0.0)
+    task.set_flags(RUN, 1.0)  # no transition
+    task.set_flags(NONE, 2.0)
+    assert psi.some_total("g", Resource.MEMORY) == 0.0
+
+
+def test_remove_task_settles_to_idle():
+    psi = PsiSystem(ncpu=4)
+    psi.add_group("g")
+    task = psi.add_task("t", "g")
+    task.set_flags(MEM, 0.0)
+    psi.remove_task("t", 3.0)
+    psi.tick(10.0)
+    # Stall stopped at removal.
+    assert psi.some_total("g", Resource.MEMORY) == pytest.approx(3.0)
+    with pytest.raises(KeyError):
+        psi.task("t")
+
+
+def test_tick_advances_all_groups():
+    psi = PsiSystem(ncpu=2)
+    psi.add_group("g")
+    task = psi.add_task("t", "g")
+    task.set_flags(MEM, 0.0)
+    psi.tick(5.0)
+    assert psi.group("g").total(Resource.MEMORY, SOME) == pytest.approx(5.0)

@@ -1,0 +1,117 @@
+"""Unit tests for PSI triggers."""
+
+import pytest
+
+from repro.psi.group import PsiGroup
+from repro.psi.trigger import PsiTrigger, TriggerSet, TriggerSpec
+from repro.psi.types import Resource, TaskFlags
+
+MEM = TaskFlags.MEMSTALL
+RUN = TaskFlags.RUNNING
+NONE = TaskFlags.NONE
+
+
+def test_parse_kernel_syntax():
+    spec = TriggerSpec.parse(Resource.MEMORY, "some 150000 1000000")
+    assert spec.kind == "some"
+    assert spec.stall_threshold_s == pytest.approx(0.15)
+    assert spec.window_s == pytest.approx(1.0)
+
+
+def test_parse_full_trigger():
+    spec = TriggerSpec.parse(Resource.IO, "full 500000 2000000")
+    assert spec.kind == "full"
+    assert spec.resource is Resource.IO
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        TriggerSpec.parse(Resource.MEMORY, "some 150000")
+    with pytest.raises(ValueError):
+        TriggerSpec.parse(Resource.MEMORY, "maybe 1 2")
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        TriggerSpec(Resource.MEMORY, "some", 0.1, window_s=0.1)  # window too small
+    with pytest.raises(ValueError):
+        TriggerSpec(Resource.MEMORY, "some", 2.0, window_s=1.0)  # threshold > window
+    with pytest.raises(ValueError):
+        TriggerSpec(Resource.MEMORY, "weird", 0.1, window_s=1.0)
+
+
+def stalled_group(stall_per_second: float):
+    """A group whose single task stalls ``stall_per_second`` each second."""
+    group = PsiGroup("g", ncpu=2)
+    return group
+
+
+def test_fires_on_threshold_crossing():
+    group = PsiGroup("g", ncpu=2)
+    spec = TriggerSpec(Resource.MEMORY, "some", 0.2, window_s=1.0)
+    trigger = PsiTrigger(group, spec, now=0.0)
+    group.change_task_state(NONE, MEM, 0.0)
+    group.change_task_state(MEM, RUN, 0.5)  # 0.5 s of stall
+    assert trigger.update(0.6)
+    assert trigger.fire_count == 1
+
+
+def test_quiet_group_never_fires():
+    group = PsiGroup("g", ncpu=2)
+    group.change_task_state(NONE, RUN, 0.0)
+    spec = TriggerSpec(Resource.MEMORY, "some", 0.1, window_s=1.0)
+    trigger = PsiTrigger(group, spec, now=0.0)
+    for t in range(1, 20):
+        assert not trigger.update(float(t))
+
+
+def test_rate_limited_to_one_fire_per_window():
+    group = PsiGroup("g", ncpu=2)
+    group.change_task_state(NONE, MEM, 0.0)  # permanently stalled
+    spec = TriggerSpec(Resource.MEMORY, "some", 0.1, window_s=2.0)
+    trigger = PsiTrigger(group, spec, now=0.0)
+    fires = sum(trigger.update(0.5 * i) for i in range(1, 21))  # 10 s
+    # At most one fire per 2 s window over 10 s: ~5 fires.
+    assert 4 <= fires <= 6
+
+
+def test_window_slides_quietly():
+    group = PsiGroup("g", ncpu=2)
+    spec = TriggerSpec(Resource.MEMORY, "some", 0.5, window_s=1.0)
+    trigger = PsiTrigger(group, spec, now=0.0)
+    # 0.3 s of stall per 1 s window: never crosses 0.5 s threshold.
+    now = 0.0
+    for _ in range(10):
+        group.change_task_state(NONE, MEM, now)
+        group.change_task_state(MEM, NONE, now + 0.3)
+        now += 1.0
+        assert not trigger.update(now)
+
+
+def test_full_trigger_distinct_from_some():
+    group = PsiGroup("g", ncpu=2)
+    # One stalled, one productive: some accrues, full does not.
+    group.change_task_state(NONE, MEM, 0.0)
+    group.change_task_state(NONE, RUN, 0.0)
+    some_spec = TriggerSpec(Resource.MEMORY, "some", 0.3, window_s=1.0)
+    full_spec = TriggerSpec(Resource.MEMORY, "full", 0.3, window_s=1.0)
+    some_trigger = PsiTrigger(group, some_spec, now=0.0)
+    full_trigger = PsiTrigger(group, full_spec, now=0.0)
+    assert some_trigger.update(1.0)
+    assert not full_trigger.update(1.0)
+
+
+def test_trigger_set_updates_all():
+    group = PsiGroup("g", ncpu=2)
+    group.change_task_state(NONE, MEM, 0.0)
+    triggers = TriggerSet()
+    triggers.register(
+        group, TriggerSpec(Resource.MEMORY, "some", 0.1, 1.0), now=0.0
+    )
+    triggers.register(
+        group, TriggerSpec(Resource.IO, "some", 0.1, 1.0), now=0.0
+    )
+    fired = triggers.update(1.0)
+    assert len(triggers) == 2
+    assert len(fired) == 1  # only the memory trigger
+    assert fired[0].spec.resource is Resource.MEMORY

@@ -1,0 +1,68 @@
+"""Unit tests for PSI task flags and resources."""
+
+from repro.psi.types import Resource, TaskFlags
+
+
+def test_none_is_idle():
+    assert not TaskFlags.NONE.nonidle
+
+
+def test_any_flag_is_nonidle():
+    assert TaskFlags.RUNNING.nonidle
+    assert TaskFlags.MEMSTALL.nonidle
+
+
+def test_memstall_stalls_memory_only():
+    flags = TaskFlags.MEMSTALL
+    assert flags.stalled_on(Resource.MEMORY)
+    assert not flags.stalled_on(Resource.IO)
+    assert not flags.stalled_on(Resource.CPU)
+
+
+def test_iostall_stalls_io_only():
+    flags = TaskFlags.IOSTALL
+    assert flags.stalled_on(Resource.IO)
+    assert not flags.stalled_on(Resource.MEMORY)
+
+
+def test_combined_mem_and_io_stall():
+    flags = TaskFlags.MEMSTALL | TaskFlags.IOSTALL
+    assert flags.stalled_on(Resource.MEMORY)
+    assert flags.stalled_on(Resource.IO)
+
+
+def test_runnable_without_cpu_is_cpu_stall():
+    assert TaskFlags.RUNNABLE.stalled_on(Resource.CPU)
+
+
+def test_running_task_is_not_cpu_stalled():
+    flags = TaskFlags.RUNNING | TaskFlags.RUNNABLE
+    assert not flags.stalled_on(Resource.CPU)
+
+
+def test_running_is_productive_for_memory():
+    assert TaskFlags.RUNNING.productive_for(Resource.MEMORY)
+
+
+def test_memstalled_runner_is_not_productive_for_memory():
+    # Direct reclaim: on CPU but accounted as a memory stall.
+    flags = TaskFlags.RUNNING | TaskFlags.MEMSTALL
+    assert not flags.productive_for(Resource.MEMORY)
+    assert flags.stalled_on(Resource.MEMORY)
+
+
+def test_runnable_counts_as_potentially_productive_for_memory():
+    # A CPU-starved task does not make the domain memory-"full".
+    assert TaskFlags.RUNNABLE.productive_for(Resource.MEMORY)
+
+
+def test_only_running_is_productive_for_cpu():
+    assert TaskFlags.RUNNING.productive_for(Resource.CPU)
+    assert not TaskFlags.RUNNABLE.productive_for(Resource.CPU)
+    assert not TaskFlags.NONE.productive_for(Resource.CPU)
+
+
+def test_idle_task_is_invisible():
+    for resource in Resource:
+        assert not TaskFlags.NONE.stalled_on(resource)
+        assert not TaskFlags.NONE.productive_for(resource)

@@ -1,0 +1,162 @@
+"""Unit tests for host assembly and the tick loop."""
+
+import pytest
+
+from repro.backends.ssd import SsdSwapBackend
+from repro.backends.zswap import ZswapBackend
+from repro.psi.types import Resource
+from repro.sim.host import Host, HostConfig
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from tests.helpers import small_host
+
+MB = 1 << 20
+_GB = 1 << 30
+
+
+def profile(npages=200, **overrides) -> AppProfile:
+    defaults = dict(
+        name="app",
+        size_gb=npages * MB / _GB,
+        anon_frac=0.6,
+        bands=HeatBands(0.4, 0.1, 0.1),
+        compress_ratio=3.0,
+        nthreads=3,
+        cpu_cores=2.0,
+    )
+    defaults.update(overrides)
+    return AppProfile(**defaults)
+
+
+def test_backend_selection():
+    assert isinstance(small_host(backend="zswap").swap_backend, ZswapBackend)
+    assert isinstance(small_host(backend="ssd").swap_backend, SsdSwapBackend)
+    assert small_host(backend=None).swap_backend is None
+    with pytest.raises(ValueError):
+        Host(HostConfig(backend="tape"))
+
+
+def test_reclaim_policy_selection():
+    assert small_host().mm.reclaimer.policy.name == "tmo"
+    assert small_host(reclaim_policy="legacy").mm.reclaimer.policy.name == (
+        "legacy"
+    )
+    with pytest.raises(ValueError):
+        Host(HostConfig(reclaim_policy="magic"))
+
+
+def test_ssd_swap_shares_device_with_fs():
+    host = small_host(backend="ssd")
+    assert host.swap_backend.device is host.fs.device
+
+
+def test_add_workload_builds_container():
+    host = small_host()
+    workload = host.add_workload(Workload, profile=profile(), name="app")
+    assert workload.started
+    assert host.mm.cgroup("app").resident_bytes > 0
+    assert host.psi.group("app") is not None
+    assert len(host._hosted["app"].psi_tasks) == 3
+
+
+def test_workload_accessor():
+    host = small_host()
+    w = host.add_workload(Workload, profile=profile(), name="app")
+    assert host.workload("app") is w
+    assert len(host.hosted()) == 1
+
+
+def test_step_advances_clock():
+    host = small_host()
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.step()
+    assert host.clock.now == pytest.approx(host.config.tick_s)
+
+
+def test_run_duration():
+    host = small_host()
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.run(10.0)
+    assert host.clock.now == pytest.approx(10.0)
+
+
+def test_metrics_recorded_each_tick():
+    host = small_host()
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.run(5.0)
+    for name in (
+        "host/free_bytes",
+        "app/resident_bytes",
+        "app/promotion_rate",
+        "app/psi_mem_some_avg10",
+        "fs/read_rate",
+    ):
+        assert name in host.metrics
+        assert len(host.metrics.series(name)) == 5
+
+
+def test_cpu_oversubscription_creates_cpu_pressure():
+    host = small_host(ncpu=2)
+    # Demand 8 cores on a 2-core host.
+    host.add_workload(
+        Workload, profile=profile(cpu_cores=8.0, nthreads=8), name="app"
+    )
+    host.run(30.0)
+    cpu_some = host.psi.group("app").total(Resource.CPU, "some")
+    assert cpu_some > 0.0
+
+
+def test_stalls_reach_psi_groups():
+    host = small_host(backend="ssd")
+    host.add_workload(Workload, profile=profile(), name="app")
+    # Kick out a big chunk so faults occur.
+    host.mm.memory_reclaim("app", 100 * MB, now=0.0)
+    host.run(30.0)
+    mem_some = host.psi.group("app").total(Resource.MEMORY, "some")
+    io_some = host.psi.group("app").total(Resource.IO, "some")
+    assert mem_some > 0.0
+    assert io_some > 0.0
+    # System-wide domain saw it too.
+    assert host.psi.group("system").total(Resource.MEMORY, "some") > 0.0
+
+
+def test_determinism_same_seed():
+    def run_once():
+        host = small_host(seed=99)
+        host.add_workload(Workload, profile=profile(), name="app")
+        host.run(60.0)
+        cg = host.mm.cgroup("app")
+        return (
+            cg.resident_bytes,
+            cg.vmstat.pgpgin_file,
+            host.psi.group("app").total(Resource.IO, "some"),
+        )
+
+    assert run_once() == run_once()
+
+
+def test_different_seeds_differ():
+    def run_once(seed):
+        host = small_host(seed=seed)
+        host.add_workload(Workload, profile=profile(), name="app")
+        host.run(60.0)
+        return host.mm.cgroup("app").vmstat.pgpgin_file
+
+    assert run_once(1) != run_once(2)
+
+
+def test_two_workloads_coexist():
+    host = small_host()
+    host.add_workload(Workload, profile=profile(100), name="a")
+    host.add_workload(Workload, profile=profile(100), name="b")
+    host.run(10.0)
+    assert host.mm.cgroup("a").resident_bytes > 0
+    assert host.mm.cgroup("b").resident_bytes > 0
+
+
+def test_default_name_slug():
+    host = small_host()
+    host.add_workload(Workload, profile=profile(name="Ads A", npages=50))
+    assert host.workload("ads-a") is not None

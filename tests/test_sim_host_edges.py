@@ -1,0 +1,94 @@
+"""Edge-case tests for host assembly and lifecycle."""
+
+import pytest
+
+from repro.backends.nvm import FarMemoryBackend
+from repro.backends.tiered import TieredBackend
+from repro.sim.host import Host, HostConfig
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from tests.helpers import small_host
+
+MB = 1 << 20
+_GB = 1 << 30
+
+
+def profile(npages=100) -> AppProfile:
+    return AppProfile(
+        name="app",
+        size_gb=npages * MB / _GB,
+        anon_frac=0.5,
+        bands=HeatBands(0.4, 0.1, 0.1),
+        compress_ratio=3.0,
+        nthreads=2,
+        cpu_cores=1.0,
+    )
+
+
+def test_nvm_and_cxl_backend_selection():
+    assert isinstance(small_host(backend="nvm").swap_backend,
+                      FarMemoryBackend)
+    cxl = small_host(backend="cxl")
+    assert isinstance(cxl.swap_backend, FarMemoryBackend)
+    assert cxl.swap_backend.spec.name == "cxl"
+
+
+def test_tiered_backend_selection():
+    host = small_host(backend="tiered")
+    assert isinstance(host.swap_backend, TieredBackend)
+    # Tiered SSD shares the physical device with the filesystem.
+    assert host.swap_backend.ssd.device is host.fs.device
+
+
+def test_duplicate_workload_name_rejected():
+    host = small_host()
+    host.add_workload(Workload, profile=profile(), name="app")
+    with pytest.raises(ValueError):
+        host.add_workload(Workload, profile=profile(), name="app")
+
+
+def test_empty_host_runs():
+    host = small_host()
+    host.run(5.0)
+    assert host.clock.now == pytest.approx(5.0)
+    assert host.mm.free_bytes() == host.mm.ram_bytes
+
+
+def test_controlfs_accessible_from_host():
+    host = small_host()
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.run(2.0)
+    current = int(host.controlfs.read("app/memory.current",
+                                      host.clock.now))
+    assert current == host.mm.cgroup("app").current_bytes()
+
+
+def test_run_zero_duration_is_noop():
+    host = small_host()
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.run(0.0)
+    assert host.clock.now == 0.0
+
+
+def test_fractional_tick_duration_rounds_up_by_tick():
+    host = small_host()
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.run(2.5)  # tick_s = 1.0: runs 3 full ticks
+    assert host.clock.now == pytest.approx(3.0)
+
+
+def test_kill_unknown_workload_raises():
+    host = small_host()
+    with pytest.raises(KeyError):
+        host.kill_workload("ghost")
+
+
+def test_metrics_monotone_time_axis():
+    host = small_host()
+    host.add_workload(Workload, profile=profile(), name="app")
+    host.run(10.0)
+    times = host.metrics.series("host/free_bytes").times
+    assert times == sorted(times)
+    assert len(set(times)) == len(times)

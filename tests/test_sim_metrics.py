@@ -1,0 +1,86 @@
+"""Unit tests for the metrics recorder."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import MetricsRecorder, Series
+
+
+def test_series_records_in_order():
+    s = Series("x")
+    s.record(0.0, 1.0)
+    s.record(1.0, 2.0)
+    assert len(s) == 2
+    assert s.values == [1.0, 2.0]
+
+
+def test_series_rejects_time_reversal():
+    s = Series("x")
+    s.record(1.0, 1.0)
+    with pytest.raises(ValueError):
+        s.record(0.5, 2.0)
+
+
+def test_series_allows_equal_timestamps():
+    s = Series("x")
+    s.record(1.0, 1.0)
+    s.record(1.0, 2.0)
+    assert len(s) == 2
+
+
+def test_series_statistics():
+    s = Series("x")
+    for t, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+        s.record(float(t), v)
+    assert s.mean() == pytest.approx(2.5)
+    assert s.min() == 1.0
+    assert s.max() == 4.0
+    assert s.last() == 4.0
+    assert s.percentile(50) == pytest.approx(2.5)
+
+
+def test_empty_series_statistics_are_nan():
+    s = Series("x")
+    assert math.isnan(s.mean())
+    assert math.isnan(s.last())
+    assert math.isnan(s.percentile(90))
+
+
+def test_series_window_slices_half_open():
+    s = Series("x")
+    for t in range(5):
+        s.record(float(t), float(t))
+    w = s.window(1.0, 3.0)
+    assert w.times == [1.0, 2.0]
+
+
+def test_series_as_arrays():
+    s = Series("x")
+    s.record(0.0, 5.0)
+    times, values = s.as_arrays()
+    assert times.tolist() == [0.0]
+    assert values.tolist() == [5.0]
+
+
+def test_recorder_creates_series_lazily():
+    rec = MetricsRecorder()
+    assert "a" not in rec
+    rec.record("a", 0.0, 1.0)
+    assert "a" in rec
+    assert rec.series("a").last() == 1.0
+
+
+def test_recorder_unknown_series_is_empty():
+    rec = MetricsRecorder()
+    assert len(rec.series("missing")) == 0
+
+
+def test_recorder_summary():
+    rec = MetricsRecorder()
+    rec.record("a", 0.0, 2.0)
+    rec.record("a", 1.0, 4.0)
+    rec.record("b", 0.0, 1.0)
+    summary = rec.summary(["a"])
+    assert summary == {"a": pytest.approx(3.0)}
+    assert set(rec.summary()) == {"a", "b"}

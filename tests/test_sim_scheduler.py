@@ -1,0 +1,149 @@
+"""Unit tests for the host's scheduler → PSI segment model.
+
+The host converts each workload tick's aggregate stall buckets into
+per-thread timeline segments with exact timestamps. These tests pin the
+math: CPU sharing under oversubscription, saturation clamping, rotation,
+and the resulting PSI integrals.
+"""
+
+import pytest
+
+from repro.psi.types import Resource
+from repro.sim.host import Host, HostConfig
+from repro.workloads.apps import AppProfile
+from repro.workloads.access import HeatBands
+from repro.workloads.base import TickResult, Workload
+
+MB = 1 << 20
+_GB = 1 << 30
+
+
+class ScriptedWorkload(Workload):
+    """A workload whose tick results are fully scripted."""
+
+    def __init__(self, mm, cgroup_name, seed, script=None, profile=None):
+        profile = profile or AppProfile(
+            name="scripted", size_gb=4 * MB / _GB, anon_frac=1.0,
+            bands=HeatBands(0.5, 0.1, 0.1), compress_ratio=2.0,
+            nthreads=2, cpu_cores=0.0,
+        )
+        super().__init__(mm, profile, cgroup_name, seed)
+        self.script = script or []
+        self._step = 0
+
+    def tick(self, now, dt):
+        if self._step < len(self.script):
+            result = self.script[self._step]
+            self._step += 1
+            return result
+        return TickResult(name="scripted")
+
+
+def scripted_host(script, ncpu=4, nthreads=2):
+    host = Host(HostConfig(
+        ram_gb=0.25, ncpu=ncpu, page_size=1 * MB, backend=None,
+        seed=3, tick_s=1.0,
+    ))
+    profile = AppProfile(
+        name="scripted", size_gb=4 * MB / _GB, anon_frac=1.0,
+        bands=HeatBands(0.5, 0.1, 0.1), compress_ratio=2.0,
+        nthreads=nthreads, cpu_cores=0.0,
+    )
+    host.add_workload(
+        ScriptedWorkload, name="app", script=script, profile=profile
+    )
+    return host
+
+
+def test_pure_stall_integrates_exactly():
+    # 1.0 s of memory stall across 2 threads => 0.5 s each, laid onto
+    # a 1 s tick: the group's some time is the union.
+    script = [TickResult(name="s", stall_mem_s=1.0)]
+    host = scripted_host(script)
+    host.step()
+    some = host.psi.group("app").total(Resource.MEMORY, "some")
+    # Each thread stalls 0.5 s; rotation offsets them, so the union is
+    # between 0.5 (fully overlapped) and 1.0 (disjoint).
+    assert 0.5 <= some <= 1.0 + 1e-9
+
+
+def test_both_bucket_feeds_memory_and_io():
+    script = [TickResult(name="s", stall_both_s=0.6)]
+    host = scripted_host(script)
+    host.step()
+    group = host.psi.group("app")
+    mem = group.total(Resource.MEMORY, "some")
+    io = group.total(Resource.IO, "some")
+    assert mem == pytest.approx(io)
+    assert mem > 0.0
+
+
+def test_saturated_thread_clamped_to_tick():
+    # 10 s of stall demanded from 2 threads in a 1 s tick: each thread
+    # can stall at most the whole tick.
+    script = [TickResult(name="s", stall_mem_s=10.0)]
+    host = scripted_host(script)
+    host.step()
+    some = host.psi.group("app").total(Resource.MEMORY, "some")
+    assert some == pytest.approx(1.0, abs=1e-6)
+
+
+def test_cpu_oversubscription_generates_runnable_wait():
+    # Demand 8 CPU-seconds on a 4-CPU host in 1 s: half the demand
+    # waits.
+    script = [TickResult(name="s", cpu_seconds=8.0)]
+    host = scripted_host(script, ncpu=4)
+    host.step()
+    cpu_some = host.psi.group("app").total(Resource.CPU, "some")
+    assert cpu_some > 0.0
+
+
+def test_undersubscribed_cpu_no_wait():
+    script = [TickResult(name="s", cpu_seconds=2.0)]
+    host = scripted_host(script, ncpu=4)
+    host.step()
+    assert host.psi.group("app").total(Resource.CPU, "some") == 0.0
+
+
+def test_idle_workload_accrues_nothing():
+    script = [TickResult(name="s")]
+    host = scripted_host(script)
+    host.step()
+    group = host.psi.group("app")
+    for resource in Resource:
+        assert group.total(resource, "some") == 0.0
+
+
+def test_stall_fractions_preserved_over_many_ticks():
+    # 20% memory stall per tick for 50 ticks: the group's some share
+    # must land near 20% (rotation makes overlap vary per tick).
+    script = [
+        TickResult(name="s", stall_mem_s=0.4) for _ in range(50)
+    ]
+    host = scripted_host(script)
+    for _ in range(50):
+        host.step()
+    some = host.psi.group("app").total(Resource.MEMORY, "some")
+    share = some / host.clock.now
+    assert 0.15 <= share <= 0.45
+
+
+def test_multiple_workloads_share_cpu_proportionally():
+    host = Host(HostConfig(
+        ram_gb=0.25, ncpu=2, page_size=1 * MB, backend=None,
+        seed=3, tick_s=1.0,
+    ))
+    for name in ("a", "b"):
+        profile = AppProfile(
+            name=name, size_gb=4 * MB / _GB, anon_frac=1.0,
+            bands=HeatBands(0.5, 0.1, 0.1), compress_ratio=2.0,
+            nthreads=2, cpu_cores=0.0,
+        )
+        host.add_workload(
+            ScriptedWorkload, name=name, profile=profile,
+            script=[TickResult(name=name, cpu_seconds=4.0)],
+        )
+    host.step()
+    # Combined demand 8 on 2 CPUs: both groups see CPU pressure.
+    for name in ("a", "b"):
+        assert host.psi.group(name).total(Resource.CPU, "some") > 0.0

@@ -1,0 +1,86 @@
+"""Working-set transitions and the major-fault fallacy (Section 3.2).
+
+"Elevated major fault counts could be due to a workload starting up or
+a working set transition, and not due to a shortage of memory."
+PSI distinguishes: the transition's faults are first-reads of newly-hot
+file pages, which stall on IO but are not memory pressure.
+"""
+
+import pytest
+
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.psi.types import Resource
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from tests.helpers import small_host
+
+MB = 1 << 20
+_GB = 1 << 30
+
+
+def profile(npages=500) -> AppProfile:
+    return AppProfile(
+        name="app",
+        size_gb=npages * MB / _GB,
+        anon_frac=0.4,
+        bands=HeatBands(0.35, 0.10, 0.10),
+        compress_ratio=3.0,
+        nthreads=2,
+        cpu_cores=1.0,
+    )
+
+
+def test_shift_redeal_counts():
+    host = small_host(ram_gb=1.0)
+    w = host.add_workload(Workload, profile=profile(), name="app")
+    assert w.shift_workingset(0.5, now=0.0) == 250
+    assert w.shift_workingset(0.0, now=0.0) == 0
+    with pytest.raises(ValueError):
+        w.shift_workingset(1.5, now=0.0)
+
+
+def test_transition_spikes_major_faults_not_memory_psi():
+    host = small_host(ram_gb=2.0)  # plenty of memory: no real shortage
+    w = host.add_workload(Workload, profile=profile(), name="app")
+    host.run(300.0)
+    cg = host.mm.cgroup("app")
+
+    before_faults = cg.vmstat.pgmajfault
+    mem_before = host.psi.group("app").total(Resource.MEMORY, "some")
+    io_before = host.psi.group("app").total(Resource.IO, "some")
+
+    # The working set transitions: formerly-cold file pages become hot.
+    w.shift_workingset(0.6, host.clock.now)
+    host.run(300.0)
+
+    fault_burst = cg.vmstat.pgmajfault - before_faults
+    mem_stall = (
+        host.psi.group("app").total(Resource.MEMORY, "some") - mem_before
+    )
+    io_stall = host.psi.group("app").total(Resource.IO, "some") - io_before
+
+    # A clear major-fault burst...
+    assert fault_burst > 30
+    # ...that shows up as IO time, NOT as memory pressure: there is no
+    # memory shortage, so a memory-offloading decision keyed on major
+    # faults would be flat wrong here.
+    assert io_stall > 0.0
+    assert mem_stall < 0.2 * io_stall
+
+
+def test_senpai_unperturbed_by_transition():
+    """Senpai (memory-pressure-driven) keeps reclaiming through a
+    transition; the faults it sees are not memory stalls."""
+    host = small_host(ram_gb=2.0, backend="zswap")
+    w = host.add_workload(Workload, profile=profile(), name="app")
+    senpai = host.add_controller(
+        Senpai(SenpaiConfig(reclaim_ratio=0.002, io_threshold=0.01))
+    )
+    host.run(300.0)
+    reclaimed_before = senpai.total_reclaimed
+    w.shift_workingset(0.6, host.clock.now)
+    host.run(300.0)
+    # Reclaim continued during/after the transition.
+    assert senpai.total_reclaimed > reclaimed_before

@@ -1,0 +1,83 @@
+"""Unit tests for access-pattern generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.access import (
+    HeatBands,
+    assign_reaccess_intervals,
+    touch_probability,
+)
+
+
+def test_heat_bands_cold_complement():
+    bands = HeatBands(0.5, 0.1, 0.1)
+    assert bands.cold == pytest.approx(0.3)
+    assert bands.warm == pytest.approx(0.7)
+
+
+def test_heat_bands_validation():
+    with pytest.raises(ValueError):
+        HeatBands(0.8, 0.3, 0.1)  # sums beyond 1
+    with pytest.raises(ValueError):
+        HeatBands(-0.1, 0.3, 0.1)
+
+
+def test_intervals_length_and_positivity(rng):
+    bands = HeatBands(0.4, 0.2, 0.2)
+    intervals = assign_reaccess_intervals(1000, bands, rng)
+    assert len(intervals) == 1000
+    assert (intervals > 0).all()
+
+
+def test_zero_pages(rng):
+    bands = HeatBands(0.4, 0.2, 0.2)
+    assert len(assign_reaccess_intervals(0, bands, rng)) == 0
+
+
+def test_negative_pages_rejected(rng):
+    with pytest.raises(ValueError):
+        assign_reaccess_intervals(-1, HeatBands(0.4, 0.2, 0.2), rng)
+
+
+def test_hot_profile_yields_short_intervals(rng):
+    hot = assign_reaccess_intervals(5000, HeatBands(0.95, 0.02, 0.02), rng)
+    cold = assign_reaccess_intervals(5000, HeatBands(0.02, 0.02, 0.02), rng)
+    assert np.median(hot) < np.median(cold)
+
+
+def test_some_cold_pages_never_reaccessed(rng):
+    intervals = assign_reaccess_intervals(
+        5000, HeatBands(0.0, 0.0, 0.0), rng
+    )
+    assert (intervals > 1e17).sum() > 1000  # ~35% of all-cold pages
+
+
+def test_steady_state_matches_bands(rng):
+    """Simulated recency distribution should track the declared bands."""
+    bands = HeatBands(0.5, 0.1, 0.1)
+    intervals = assign_reaccess_intervals(20000, bands, rng)
+    # P(touched within last 60s) in steady state = 1 - exp(-60/interval).
+    p60 = 1.0 - np.exp(-60.0 / intervals)
+    assert p60.mean() == pytest.approx(bands.used_1min, abs=0.12)
+    p300 = 1.0 - np.exp(-300.0 / intervals)
+    assert p300.mean() == pytest.approx(bands.warm, abs=0.12)
+
+
+def test_touch_probability_shape():
+    intervals = np.array([10.0, 1e18])
+    p = touch_probability(intervals, dt=10.0)
+    assert p[0] == pytest.approx(1.0 - np.exp(-1.0))
+    assert p[1] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_touch_probability_monotone_in_dt():
+    intervals = np.array([30.0])
+    p1 = touch_probability(intervals, 1.0)[0]
+    p10 = touch_probability(intervals, 10.0)[0]
+    assert p10 > p1
+
+
+def test_touch_probability_rejects_negative_dt():
+    with pytest.raises(ValueError):
+        touch_probability(np.array([1.0]), -1.0)

@@ -1,0 +1,86 @@
+"""Unit tests for the application catalog against the paper's text."""
+
+import pytest
+
+from repro.workloads.apps import (
+    APP_CATALOG,
+    FIG2_APPS,
+    FIG9_APPS,
+    AppProfile,
+)
+from repro.workloads.access import HeatBands
+
+
+def test_fig2_apps_all_present():
+    for name in FIG2_APPS:
+        assert name in APP_CATALOG
+
+
+def test_fig9_apps_all_present():
+    for name in FIG9_APPS:
+        assert name in APP_CATALOG
+
+
+def test_cold_share_range_matches_paper():
+    """Section 2.2: cold share ranges 19-62%, average ~35%."""
+    colds = [APP_CATALOG[name].bands.cold for name in FIG2_APPS]
+    assert min(colds) == pytest.approx(0.19, abs=0.02)
+    assert max(colds) == pytest.approx(0.62, abs=0.02)
+    assert sum(colds) / len(colds) == pytest.approx(0.35, abs=0.03)
+
+
+def test_web_is_coldest_cache_b_hottest():
+    assert APP_CATALOG["Web"].bands.cold == max(
+        APP_CATALOG[n].bands.cold for n in FIG2_APPS
+    )
+    assert APP_CATALOG["Cache B"].bands.cold == min(
+        APP_CATALOG[n].bands.cold for n in FIG2_APPS
+    )
+
+
+def test_feed_matches_figure_2_example():
+    feed = APP_CATALOG["Feed"].bands
+    assert feed.used_1min == pytest.approx(0.50)
+    assert feed.used_2min == pytest.approx(0.08)
+    assert feed.used_5min == pytest.approx(0.12)
+    assert feed.cold == pytest.approx(0.30)
+
+
+def test_web_compresses_4x():
+    assert APP_CATALOG["Web"].compress_ratio == pytest.approx(4.0)
+
+
+def test_ml_apps_poorly_compressible_use_ssd():
+    """Section 4.1: quantised models compress 1.3-1.4x -> SSD backend."""
+    for name in ("ML", "Ads B"):
+        profile = APP_CATALOG[name]
+        assert profile.compress_ratio <= 1.5
+        assert profile.preferred_backend == "ssd"
+
+
+def test_compressible_apps_use_zswap():
+    for name in ("Web", "Feed", "Ads A", "Ads C", "Warehouse"):
+        assert APP_CATALOG[name].preferred_backend == "zswap"
+
+
+def test_web_preloads_file_cache():
+    assert APP_CATALOG["Web"].file_preload
+
+
+def test_profile_validation():
+    bands = HeatBands(0.4, 0.2, 0.2)
+    with pytest.raises(ValueError):
+        AppProfile("x", 1.0, anon_frac=1.5, bands=bands, compress_ratio=2.0)
+    with pytest.raises(ValueError):
+        AppProfile("x", 1.0, anon_frac=0.5, bands=bands, compress_ratio=0.5)
+    with pytest.raises(ValueError):
+        AppProfile(
+            "x", 1.0, anon_frac=0.5, bands=bands, compress_ratio=2.0,
+            preferred_backend="floppy",
+        )
+
+
+def test_anon_fractions_vary_wildly():
+    """Figure 4: the anon/file split varies wildly across apps."""
+    fracs = [p.anon_frac for p in APP_CATALOG.values()]
+    assert max(fracs) - min(fracs) > 0.4
