@@ -1,12 +1,30 @@
 PYTHON ?= python
+export PYTHONPATH := src
 
-.PHONY: install test bench bench-tables examples docs all
+.PHONY: install test bench bench-tables examples docs lint all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# ruff and mypy run only when installed (they are optional, see
+# [project.optional-dependencies].lint); repro.lint always runs and
+# is the gating check.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		echo "== ruff"; ruff check src benchmarks examples tests; \
+	else \
+		echo "== ruff not installed, skipping (pip install -e .[lint])"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		echo "== mypy"; mypy; \
+	else \
+		echo "== mypy not installed, skipping (pip install -e .[lint])"; \
+	fi
+	@echo "== repro.lint"
+	$(PYTHON) -m repro.lint
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -51,7 +51,7 @@ def bench_host(
     config = HostConfig(
         ram_gb=ram_gb,
         ncpu=BENCH_NCPU,
-        page_size=BENCH_PAGE,
+        page_size_bytes=BENCH_PAGE,
         seed=seed,
         backend=backend,
         tick_s=tick_s,

@@ -10,15 +10,18 @@ import pytest
 
 from repro.backends.base import IoKind
 from repro.backends.ssd import SSD_CATALOG, make_ssd_device
+from repro.sim.rng import derive_rng
 
-from bench_common import print_figure
+from bench_common import BENCH_SEED, print_figure
 
 SAMPLES = 3000
 
 
 def measure_device(model: str):
     """Sample an uncontended device's read-latency distribution."""
-    device = make_ssd_device(model, np.random.default_rng(1))
+    device = make_ssd_device(
+        model, derive_rng(BENCH_SEED, f"fig05:device:{model}")
+    )
     lats = np.array(
         [device.issue(IoKind.READ) for _ in range(SAMPLES)]
     )

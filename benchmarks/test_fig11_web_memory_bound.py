@@ -50,7 +50,7 @@ def run_tier(backend):
         "saved": (
             cg.swap_bytes
             + max(0, cg.zswap_bytes - host.mm.zswap_pool_bytes)
-            + len(cg.shadow) * host.mm.page_size
+            + len(cg.shadow) * host.mm.page_size_bytes
         ),
         "baseline_footprint": cg.resident_bytes + cg.offloaded_bytes(),
     }

@@ -22,7 +22,7 @@ APPS = ["Feed", "Web", "Cache B", "Ads B", "ML"]
 def run_experiment():
     fleet = Fleet(
         base_config=HostConfig(
-            ram_gb=4.0, ncpu=BENCH_NCPU, page_size=BENCH_PAGE,
+            ram_gb=4.0, ncpu=BENCH_NCPU, page_size_bytes=BENCH_PAGE,
             tick_s=2.0,
         ),
         seed=BENCH_SEED,

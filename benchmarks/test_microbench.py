@@ -8,7 +8,6 @@ negligible; here that path is ~microseconds per transition in pure
 Python.
 """
 
-import numpy as np
 import pytest
 
 from repro.backends.base import IoKind
@@ -21,6 +20,9 @@ from repro.backends.filesystem import FilesystemBackend
 from repro.kernel.mm import MemoryManager
 from repro.psi.tracker import PsiSystem
 from repro.psi.types import TaskFlags
+from repro.sim.rng import derive_rng
+
+from bench_common import BENCH_SEED
 
 PAGE = 256 * 1024
 MB = 1 << 20
@@ -29,9 +31,9 @@ MB = 1 << 20
 def make_mm(ram_mb=256):
     return MemoryManager(
         ram_bytes=ram_mb * MB,
-        page_size=PAGE,
-        fs=FilesystemBackend("C", np.random.default_rng(42)),
-        swap_backend=ZswapBackend(np.random.default_rng(43)),
+        page_size_bytes=PAGE,
+        fs=FilesystemBackend("C", derive_rng(BENCH_SEED, "microbench:fs")),
+        swap_backend=ZswapBackend(derive_rng(BENCH_SEED, "microbench:zswap")),
     )
 
 
@@ -61,7 +63,7 @@ def test_lru_touch_throughput(benchmark):
     ]
     for page in pages:
         lruset.insert_new(page)
-    rng = np.random.default_rng(0)
+    rng = derive_rng(BENCH_SEED, "microbench:lru-order")
     order = rng.integers(0, len(pages), size=512)
 
     def touches():
@@ -100,7 +102,9 @@ def test_shadow_refault_check_throughput(benchmark):
 
 
 def test_zswap_store_load_throughput(benchmark):
-    backend = ZswapBackend(np.random.default_rng(0))
+    backend = ZswapBackend(
+        derive_rng(BENCH_SEED, "microbench:zswap-roundtrip")
+    )
 
     def roundtrip():
         for i in range(64):
@@ -113,7 +117,9 @@ def test_zswap_store_load_throughput(benchmark):
 
 
 def test_device_issue_throughput(benchmark):
-    device = make_ssd_device("C", np.random.default_rng(0))
+    device = make_ssd_device(
+        "C", derive_rng(BENCH_SEED, "microbench:device-issue")
+    )
 
     def issues():
         for _ in range(256):

@@ -74,7 +74,7 @@ def run_experiment():
 
     # --- expansion: a 600 MB allocation burst in one tick.
     direct_before = host.mm.cgroup("app").vmstat.direct_reclaim
-    burst_pages = int(600 * MB / host.mm.page_size)
+    burst_pages = int(600 * MB / host.mm.page_size_bytes)
     from repro.workloads.base import TickResult
 
     tick = TickResult(name="burst")

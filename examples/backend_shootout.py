@@ -27,7 +27,7 @@ PROFILE = dataclasses.replace(APP_CATALOG["ML"], cold_never_share=0.1)
 
 
 def make_host(**overrides) -> Host:
-    config = dict(ram_gb=4.0, ncpu=16, page_size=1 * MB, seed=SEED,
+    config = dict(ram_gb=4.0, ncpu=16, page_size_bytes=1 * MB, seed=SEED,
                   tick_s=TICK_S)
     config.update(overrides)
     return Host(HostConfig(**config))

@@ -54,7 +54,7 @@ WASTEFUL = AppProfile(
 
 
 def main() -> None:
-    host = Host(HostConfig(ram_gb=2.0, page_size=1 * MB,
+    host = Host(HostConfig(ram_gb=2.0, page_size_bytes=1 * MB,
                            backend="zswap", ncpu=8, seed=31))
     host.add_workload(Workload, profile=HEALTHY, name="healthy")
     host.add_workload(Workload, profile=WASTEFUL, name="wasteful")
@@ -81,7 +81,7 @@ def main() -> None:
         estimate = profiler.estimate()
         cg = host.mm.cgroup(name)
         allocated = cg.resident_bytes + cg.offloaded_bytes() + (
-            len(cg.shadow) * host.mm.page_size
+            len(cg.shadow) * host.mm.page_size_bytes
         )
         print(f"{name:>12} {allocated / MB:>10.0f}MB "
               f"{estimate.required_bytes / MB:>10.0f}MB "

@@ -64,7 +64,7 @@ PROFILE = AppProfile(
 
 def build(controller_factory):
     def factory():
-        host = Host(HostConfig(ram_gb=3.0, ncpu=16, page_size=1 * MB,
+        host = Host(HostConfig(ram_gb=3.0, ncpu=16, page_size_bytes=1 * MB,
                                backend="zswap", seed=13, tick_s=2.0))
         host.add_workload(Workload, profile=PROFILE, name="app",
                           size_scale=1.0)

@@ -19,7 +19,7 @@ APPS = ["Feed", "Web", "Cache B", "Ads A", "Ads B", "ML"]
 def main() -> None:
     fleet = Fleet(
         base_config=HostConfig(
-            ram_gb=4.0, ncpu=16, page_size=1 * MB, tick_s=2.0,
+            ram_gb=4.0, ncpu=16, page_size_bytes=1 * MB, tick_s=2.0,
         ),
         seed=99,
     )

@@ -19,7 +19,7 @@ MB = 1 << 20
 def main() -> None:
     # A small host: 4 GB of DRAM modelled at 1 MiB page granularity.
     host = Host(
-        HostConfig(ram_gb=4.0, ncpu=16, page_size=1 * MB,
+        HostConfig(ram_gb=4.0, ncpu=16, page_size_bytes=1 * MB,
                    backend="zswap", seed=7)
     )
 

@@ -18,7 +18,7 @@ DURATION_S = 5400.0
 
 def run_tier(backend):
     host = Host(
-        HostConfig(ram_gb=4.0, ncpu=16, page_size=1 * MB,
+        HostConfig(ram_gb=4.0, ncpu=16, page_size_bytes=1 * MB,
                    backend=backend, seed=42, tick_s=2.0)
     )
     host.add_workload(

@@ -23,7 +23,7 @@ Quickstart::
     from repro import Host, HostConfig, Senpai, SenpaiConfig, Workload
     from repro.workloads import APP_CATALOG
 
-    host = Host(HostConfig(ram_gb=4.0, page_size=1 << 20, backend="zswap"))
+    host = Host(HostConfig(ram_gb=4.0, page_size_bytes=1 << 20, backend="zswap"))
     host.add_workload(Workload, profile=APP_CATALOG["Feed"],
                       name="feed", size_scale=0.05)
     host.add_controller(Senpai(SenpaiConfig()))

@@ -35,24 +35,24 @@ class DeviceStats:
 class LatencyReservoir:
     """Fixed-size reservoir of recent operation latencies for percentiles.
 
-    Keeps the most recent ``capacity`` samples (a sliding window, not a
+    Keeps the most recent ``capacity_entries`` samples (a sliding window, not a
     random reservoir): the experiments plot latency percentiles over time
     windows, so recency is what matters.
     """
 
-    def __init__(self, capacity: int = 4096) -> None:
-        if capacity < 1:
+    def __init__(self, capacity_entries: int = 4096) -> None:
+        if capacity_entries < 1:
             raise ValueError("reservoir capacity must be >= 1")
-        self.capacity = capacity
+        self.capacity_entries = capacity_entries
         self._samples: list = []
         self._next = 0
 
     def add(self, latency_s: float) -> None:
-        if len(self._samples) < self.capacity:
+        if len(self._samples) < self.capacity_entries:
             self._samples.append(latency_s)
         else:
             self._samples[self._next] = latency_s
-            self._next = (self._next + 1) % self.capacity
+            self._next = (self._next + 1) % self.capacity_entries
 
     def percentile(self, q: float) -> float:
         if not self._samples:

@@ -4,7 +4,7 @@ Instead of writing a reclaimed anonymous page to a swap partition, the
 kernel compresses it and keeps it in RAM (Section 3.4.1). Faults still
 occur, but resolve by decompression — roughly 40 us at p90 versus
 hundreds of microseconds to milliseconds for an SSD — and the memory
-saving per page is ``page_size * (1 - 1/effective_ratio)`` minus
+saving per page is ``page_size_bytes * (1 - 1/effective_ratio)`` minus
 allocator slack.
 """
 

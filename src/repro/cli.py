@@ -93,7 +93,7 @@ def _cmd_run_host(args) -> int:
     host = Host(HostConfig(
         ram_gb=args.ram_gb,
         ncpu=args.ncpu,
-        page_size=args.page_mb * MB,
+        page_size_bytes=args.page_mb * MB,
         backend=None if backend == "none" else backend,
         seed=args.seed,
     ))
@@ -138,7 +138,7 @@ def _cmd_run_ab(args) -> int:
     def build(backend):
         host = Host(HostConfig(
             ram_gb=args.ram_gb, ncpu=args.ncpu,
-            page_size=args.page_mb * MB,
+            page_size_bytes=args.page_mb * MB,
             backend=None if backend == "none" else backend,
             seed=args.seed,
         ))

@@ -42,7 +42,7 @@ def cgroup_memory_savings(mm: MemoryManager, cgroup_name: str) -> Dict[str, floa
     # File-cache savings: pages reclaim evicted that the workload has
     # not needed back. Their shadow entries are exactly that set — a
     # shadow is installed on eviction and consumed on refault.
-    saved_file = len(cg.shadow) * cg.page_size
+    saved_file = len(cg.shadow) * cg.page_size_bytes
     baseline = cg.resident_bytes + offloaded_anon + saved_file
     pool_overhead = 0.0
     if cg.zswap_bytes > 0 and mm.swap_backend is not None:

@@ -75,7 +75,7 @@ def profile_target_rate(
     tracker = IdlePageTracker(host.mm)
     cold_pages = tracker.cold_bytes(
         cgroup, now, age_threshold_s=cold_age_s
-    ) / host.mm.page_size
+    ) / host.mm.page_size_bytes
     # Expected re-touch rate of the cold band if fully offloaded:
     # roughly one touch per cold page per its age scale.
     expected_rate = cold_pages / max(1.0, cold_age_s)

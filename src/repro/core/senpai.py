@@ -139,7 +139,7 @@ class Senpai:
             return list(self.config.cgroups)
         return [h.cgroup_name for h in host.hosted()]
 
-    def observed_pressure(self, host, cgroup: str, interval: float) -> float:
+    def observed_pressure(self, host, cgroup: str, interval_s: float) -> float:
         """Normalised pressure for one container over the last interval.
 
         Diffs the ``some`` stall totals (like the open-source senpai
@@ -155,8 +155,8 @@ class Senpai:
             state.last_io_total = io_total
             state.seen = True
             return 0.0
-        mem_pressure = (mem_total - state.last_mem_total) / interval
-        io_pressure = (io_total - state.last_io_total) / interval
+        mem_pressure = (mem_total - state.last_mem_total) / interval_s
+        io_pressure = (io_total - state.last_io_total) / interval_s
         state.last_mem_total = mem_total
         state.last_io_total = io_total
         return max(

@@ -27,14 +27,14 @@ class Cgroup:
     def __init__(
         self,
         name: str,
-        page_size: int,
+        page_size_bytes: int,
         parent: Optional["Cgroup"] = None,
         compressibility: float = 3.0,
     ) -> None:
-        if page_size <= 0:
-            raise ValueError(f"page_size must be positive, got {page_size}")
+        if page_size_bytes <= 0:
+            raise ValueError(f"page_size_bytes must be positive, got {page_size_bytes}")
         self.name = name
-        self.page_size = page_size
+        self.page_size_bytes = page_size_bytes
         self.parent = parent
         self.children: Dict[str, Cgroup] = {}
         if parent is not None:
@@ -90,7 +90,7 @@ class Cgroup:
 
     @property
     def resident_pages(self) -> int:
-        return self.resident_bytes // self.page_size
+        return self.resident_bytes // self.page_size_bytes
 
     def current_bytes(self) -> int:
         """Hierarchical usage: local plus all descendants (memory.current)."""

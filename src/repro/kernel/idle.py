@@ -101,7 +101,7 @@ class IdlePageTracker:
         cold = 0
         for page in self.mm.pages(cgroup_name):
             if page.resident and now - page.last_access >= age_threshold_s:
-                cold += self.mm.page_size
+                cold += self.mm.page_size_bytes
                 self.pages_scanned += 1
                 self.scan_cpu_seconds += IDLE_SCAN_COST_S
         return cold

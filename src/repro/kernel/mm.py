@@ -62,7 +62,7 @@ class MemoryManager:
     def __init__(
         self,
         ram_bytes: int,
-        page_size: int,
+        page_size_bytes: int,
         fs: FilesystemBackend,
         swap_backend: Optional[OffloadBackend] = None,
         policy: Optional[ReclaimPolicy] = None,
@@ -70,7 +70,7 @@ class MemoryManager:
         """
         Args:
             ram_bytes: physical DRAM of the host.
-            page_size: bytes represented by one simulated page (the
+            page_size_bytes: bytes represented by one simulated page (the
                 granularity scale knob; all rates are in bytes/sec so
                 results are granularity-independent).
             fs: the filesystem backend serving file pages.
@@ -80,15 +80,15 @@ class MemoryManager:
                 file-only mode (Section 5.1's first deployment phase).
             policy: reclaim balancing policy; TMO's by default.
         """
-        if ram_bytes <= 0 or page_size <= 0:
-            raise ValueError("ram_bytes and page_size must be positive")
-        if ram_bytes < page_size:
+        if ram_bytes <= 0 or page_size_bytes <= 0:
+            raise ValueError("ram_bytes and page_size_bytes must be positive")
+        if ram_bytes < page_size_bytes:
             raise ValueError("host RAM smaller than one page")
         self.ram_bytes = ram_bytes
-        self.page_size = page_size
+        self.page_size_bytes = page_size_bytes
         self.fs = fs
         self.swap_backend = swap_backend
-        self.root = Cgroup("root", page_size=page_size)
+        self.root = Cgroup("root", page_size_bytes=page_size_bytes)
         self._cgroups: Dict[str, Cgroup] = {"root": self.root}
         self._pages: Dict[int, Page] = {}
         self._next_page_id = 0
@@ -118,7 +118,7 @@ class MemoryManager:
             raise ValueError(f"cgroup {name!r} already exists")
         cgroup = Cgroup(
             name,
-            page_size=self.page_size,
+            page_size_bytes=self.page_size_bytes,
             parent=self._cgroups[parent],
             compressibility=compressibility,
         )
@@ -268,7 +268,7 @@ class MemoryManager:
                     cgroup, PageKind.ANON, PageState.RESIDENT, now,
                     dirty=False, compressibility=compressibility,
                 )
-                cgroup.charge(PageKind.ANON, self.page_size)
+                cgroup.charge(PageKind.ANON, self.page_size_bytes)
                 cgroup.lru[PageKind.ANON].insert_new(page)
                 pages.append(page)
         except OutOfMemoryError:
@@ -305,7 +305,7 @@ class MemoryManager:
                         cgroup, PageKind.FILE, PageState.RESIDENT, now,
                         dirty=dirty, compressibility=compressibility,
                     )
-                    cgroup.charge(PageKind.FILE, self.page_size)
+                    cgroup.charge(PageKind.FILE, self.page_size_bytes)
                     cgroup.lru[PageKind.FILE].insert_new(page)
                 else:
                     page = self._new_page(
@@ -331,15 +331,15 @@ class MemoryManager:
         if page.state is PageState.ZSWAPPED:
             stall = self._charge_with_reclaim(cgroup, now)
             latency = self.swap_backend.load(
-                self.page_size, page.compressibility, now,
+                self.page_size_bytes, page.compressibility, now,
                 page_id=page.page_id,
             )
             self.swap_backend.free(
-                self.page_size, page.compressibility, page_id=page.page_id
+                self.page_size_bytes, page.compressibility, page_id=page.page_id
             )
-            cgroup.zswap_bytes -= self.page_size
+            cgroup.zswap_bytes -= self.page_size_bytes
             page.state = PageState.RESIDENT
-            cgroup.charge(PageKind.ANON, self.page_size)
+            cgroup.charge(PageKind.ANON, self.page_size_bytes)
             cgroup.lru[PageKind.ANON].insert_active(page)
             cgroup.vmstat.pswpin += 1
             cgroup.vmstat.pgmajfault += 1
@@ -351,15 +351,15 @@ class MemoryManager:
         if page.state is PageState.SWAPPED:
             stall = self._charge_with_reclaim(cgroup, now)
             latency = self.swap_backend.load(
-                self.page_size, page.compressibility, now,
+                self.page_size_bytes, page.compressibility, now,
                 page_id=page.page_id,
             )
             self.swap_backend.free(
-                self.page_size, page.compressibility, page_id=page.page_id
+                self.page_size_bytes, page.compressibility, page_id=page.page_id
             )
-            cgroup.swap_bytes -= self.page_size
+            cgroup.swap_bytes -= self.page_size_bytes
             page.state = PageState.RESIDENT
-            cgroup.charge(PageKind.ANON, self.page_size)
+            cgroup.charge(PageKind.ANON, self.page_size_bytes)
             cgroup.lru[PageKind.ANON].insert_active(page)
             cgroup.vmstat.pswpin += 1
             cgroup.vmstat.pgmajfault += 1
@@ -370,7 +370,7 @@ class MemoryManager:
 
         # EVICTED or ABSENT file page: read from the filesystem.
         stall = self._charge_with_reclaim(cgroup, now)
-        latency = self.fs.load(self.page_size, page.compressibility, now)
+        latency = self.fs.load(self.page_size_bytes, page.compressibility, now)
         distance = cgroup.shadow.reuse_distance(page.page_id)
         if distance is not None and distance >= 1:
             cgroup.record_reuse_distance(distance)
@@ -379,7 +379,7 @@ class MemoryManager:
         )
         page.state = PageState.RESIDENT
         page.shadow_stamp = None
-        cgroup.charge(PageKind.FILE, self.page_size)
+        cgroup.charge(PageKind.FILE, self.page_size_bytes)
         cgroup.vmstat.pgpgin_file += 1
         cgroup.vmstat.pgmajfault += 1
         if refault:
@@ -426,12 +426,12 @@ class MemoryManager:
         """
         stall = 0.0
         for factor in self._RECLAIM_PRIORITIES:
-            need = max(self.page_size - headroom(), self.page_size)
+            need = max(self.page_size_bytes - headroom(), self.page_size_bytes)
             outcome = self.reclaimer.reclaim(
                 target, need * factor, now, synchronous=True
             )
             stall += outcome.cpu_seconds + outcome.stall_seconds
-            if headroom() >= self.page_size:
+            if headroom() >= self.page_size_bytes:
                 return stall
         raise OutOfMemoryError(
             f"no reclaim progress against {target.name!r} "
@@ -444,14 +444,14 @@ class MemoryManager:
         limit = self._tightest_limit(cgroup)
         if limit is not None:
             limited, room = limit
-            if room < self.page_size:
+            if room < self.page_size_bytes:
                 cgroup.vmstat.direct_reclaim += 1
                 stall += self._direct_reclaim(
                     limited,
                     lambda: limited.memory_max - limited.current_bytes(),
                     now,
                 )
-        if self.free_bytes() < self.page_size:
+        if self.free_bytes() < self.page_size_bytes:
             cgroup.vmstat.direct_reclaim += 1
             stall += self._direct_reclaim(
                 self.root, self.free_bytes, now
@@ -474,12 +474,12 @@ class MemoryManager:
         cgroup = self._cgroups[page.cgroup]
         if cgroup.swap_max is not None:
             used = cgroup.swap_bytes + cgroup.zswap_bytes
-            if used + self.page_size > cgroup.swap_max:
+            if used + self.page_size_bytes > cgroup.swap_max:
                 return None  # memory.swap.max reached: fall back to file
         age_s = max(0.0, now - page.last_access)
         try:
             cost = backend.store(
-                self.page_size, page.compressibility, now,
+                self.page_size_bytes, page.compressibility, now,
                 page_id=page.page_id, age_s=age_s,
             )
         except (SwapFullError, ZswapPoolFullError, FarMemoryFullError):
@@ -503,17 +503,17 @@ class MemoryManager:
         cgroup = self._cgroups[page.cgroup]
         if page.state is PageState.RESIDENT:
             cgroup.lru[page.kind].remove(page)
-            cgroup.uncharge(page.kind, self.page_size)
+            cgroup.uncharge(page.kind, self.page_size_bytes)
         elif page.state is PageState.SWAPPED:
             self.swap_backend.free(
-                self.page_size, page.compressibility, page_id=page.page_id
+                self.page_size_bytes, page.compressibility, page_id=page.page_id
             )
-            cgroup.swap_bytes -= self.page_size
+            cgroup.swap_bytes -= self.page_size_bytes
         elif page.state is PageState.ZSWAPPED:
             self.swap_backend.free(
-                self.page_size, page.compressibility, page_id=page.page_id
+                self.page_size_bytes, page.compressibility, page_id=page.page_id
             )
-            cgroup.zswap_bytes -= self.page_size
+            cgroup.zswap_bytes -= self.page_size_bytes
         elif page.state is PageState.EVICTED:
             cgroup.shadow.forget(page.page_id)
         page.state = PageState.ABSENT

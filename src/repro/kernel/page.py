@@ -1,6 +1,6 @@
 """Pages: the unit of memory the kernel manages.
 
-Each simulated page stands for ``page_size`` bytes of one cgroup's memory
+Each simulated page stands for ``page_size_bytes`` bytes of one cgroup's memory
 (the scale knob that keeps large hosts tractable — see DESIGN.md). A page
 is either anonymous (swap-backed) or file-backed, and moves through the
 states below as it is allocated, reclaimed and faulted back.

@@ -212,9 +212,9 @@ class Reclaimer:
         file_only: bool = False,
     ) -> ReclaimOutcome:
         outcome = ReclaimOutcome(requested_bytes=nr_bytes)
-        page_size = cgroup.page_size
-        target_pages = max(1, int(math.ceil(nr_bytes / page_size)))
-        swap_available = (not file_only) and self.mm.swap_available(page_size)
+        page_size_bytes = cgroup.page_size_bytes
+        target_pages = max(1, int(math.ceil(nr_bytes / page_size_bytes)))
+        swap_available = (not file_only) and self.mm.swap_available(page_size_bytes)
         file_frac = self.policy.file_scan_fraction(cgroup, swap_available)
 
         # Weighted round-robin between the two pools via an accumulator.
@@ -294,7 +294,7 @@ class Reclaimer:
         On failure (offload backend full) the page is put back on its
         LRU and the caller falls back to the other pool.
         """
-        page_size = cgroup.page_size
+        page_size_bytes = cgroup.page_size_bytes
         if page.kind is PageKind.FILE:
             stamp = cgroup.shadow.record_eviction(page.page_id)
             page.shadow_stamp = stamp
@@ -302,14 +302,14 @@ class Reclaimer:
             cgroup.vmstat.workingset_evict += 1
             if page.dirty:
                 latency = self.mm.fs.store(
-                    page_size, page.compressibility, now
+                    page_size_bytes, page.compressibility, now
                 )
                 cgroup.vmstat.pgwriteback += 1
                 page.dirty = False
                 if synchronous:
                     outcome.stall_seconds += latency
-            cgroup.uncharge(PageKind.FILE, page_size)
-            outcome.reclaimed_file_bytes += page_size
+            cgroup.uncharge(PageKind.FILE, page_size_bytes)
+            outcome.reclaimed_file_bytes += page_size_bytes
         else:
             cpu_cost = self.mm.swap_out(page, now)
             if cpu_cost is None:
@@ -317,14 +317,14 @@ class Reclaimer:
                 cgroup.lru[PageKind.ANON].insert_active(page)
                 return False
             outcome.cpu_seconds += cpu_cost
-            cgroup.uncharge(PageKind.ANON, page_size)
-            cgroup.swap_bytes += page_size if page.state is PageState.SWAPPED else 0
+            cgroup.uncharge(PageKind.ANON, page_size_bytes)
+            cgroup.swap_bytes += page_size_bytes if page.state is PageState.SWAPPED else 0
             cgroup.zswap_bytes += (
-                page_size if page.state is PageState.ZSWAPPED else 0
+                page_size_bytes if page.state is PageState.ZSWAPPED else 0
             )
             cgroup.vmstat.pswpout += 1
-            outcome.reclaimed_anon_bytes += page_size
+            outcome.reclaimed_anon_bytes += page_size_bytes
 
         cgroup.vmstat.pgsteal += 1
-        outcome.reclaimed_bytes += page_size
+        outcome.reclaimed_bytes += page_size_bytes
         return True

@@ -17,16 +17,16 @@ from typing import Dict, Optional
 class ShadowMap:
     """Eviction clock plus shadow entries for one cgroup."""
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    def __init__(self, capacity_entries: Optional[int] = None) -> None:
         """
         Args:
-            capacity: optional bound on retained shadow entries; the
+            capacity_entries: optional bound on retained shadow entries; the
                 kernel prunes old shadows under memory pressure. Oldest
                 entries are dropped first when the bound is hit.
         """
         self._clock = 0
         self._stamps: Dict[int, int] = {}
-        self._capacity = capacity
+        self._capacity = capacity_entries
 
     @property
     def eviction_clock(self) -> int:

@@ -1,0 +1,137 @@
+"""Shared AST helpers: dotted-name resolution and unit-suffix parsing."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+# ----------------------------------------------------------------------
+# dotted names and import resolution
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ImportMap:
+    """Maps local aliases to fully-qualified module/object paths.
+
+    Built from every ``import``/``from ... import`` in a module, so a
+    call spelled ``np.random.default_rng(...)`` or ``pc()`` (after
+    ``from time import perf_counter as pc``) resolves to its canonical
+    dotted path regardless of aliasing.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: not a stdlib/numpy target
+                    continue
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{module}.{alias.name}"
+
+    def resolve(self, dotted: Optional[str]) -> Optional[str]:
+        """Canonicalise the first segment of ``dotted`` via the imports.
+
+        Returns None when the head was never imported — a bare local
+        name, which the determinism rules must not flag.
+        """
+        if not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = self._aliases.get(head)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        return self.resolve(dotted_name(call.func))
+
+
+# ----------------------------------------------------------------------
+# unit suffixes (TMO004)
+
+#: Recognised trailing unit/qualifier tokens, mapped to a canonical
+#: unit. Names carrying any of these are considered unit-disciplined.
+UNIT_SUFFIXES: Dict[str, str] = {
+    # data amounts
+    "bytes": "bytes", "byte": "bytes",
+    "kb": "kb", "kib": "kb",
+    "mb": "mb", "mib": "mb",
+    "gb": "gb", "gib": "gb",
+    "tb": "tb", "tib": "tb",
+    "pages": "pages",
+    "entries": "entries",
+    # count-prefixed conventions (nbytes/npages read as "n bytes")
+    "nbytes": "bytes",
+    "npages": "pages",
+    # time
+    "s": "s", "sec": "s", "secs": "s", "second": "s", "seconds": "s",
+    "ms": "ms",
+    "us": "us",
+    "ns": "ns",
+    # dimensionless qualifiers (explicitly unitless is also discipline)
+    "frac": "frac", "fraction": "frac", "ratio": "frac", "pct": "frac",
+    # per-second conventions of this repo
+    "rate": "per_s", "rps": "per_s", "iops": "per_s", "hz": "per_s",
+    # device endurance (petabytes written)
+    "pbw": "pbw",
+}
+
+#: Units that denote a measurable quantity; mixing two *different*
+#: members of this set in one +/- or comparison is a unit bug.
+DIMENSIONED_UNITS = frozenset(
+    {"bytes", "kb", "mb", "gb", "tb", "pages", "entries",
+     "s", "ms", "us", "ns"}
+)
+
+#: Name stems that denote a size/duration/capacity without saying in
+#: what unit — the ambiguity TMO004 exists to eliminate.
+AMBIGUOUS_STEMS = frozenset(
+    {"size", "sizes", "capacity", "duration", "latency", "timeout",
+     "interval", "delay", "period", "age", "length", "amount"}
+)
+
+
+def unit_of(name: str) -> Optional[str]:
+    """The canonical unit carried by ``name``'s suffix, or None."""
+    token = name.lower().rstrip("_").rpartition("_")[2]
+    return UNIT_SUFFIXES.get(token)
+
+
+def is_ambiguous_name(name: str) -> bool:
+    """True when ``name`` denotes a quantity but carries no unit."""
+    cleaned = name.lower().strip("_")
+    if not cleaned:
+        return False
+    if unit_of(cleaned) is not None:
+        return False
+    stem = cleaned.rpartition("_")[2]
+    return stem in AMBIGUOUS_STEMS
+
+
+def expr_unit(node: ast.AST) -> Optional[str]:
+    """Infer the unit of an expression from its terminal identifier."""
+    if isinstance(node, ast.Name):
+        return unit_of(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_of(node.attr)
+    return None

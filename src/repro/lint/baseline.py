@@ -1,0 +1,75 @@
+"""The checked-in baseline: grandfathered findings that do not fail CI.
+
+A baseline entry identifies a finding by ``(path, rule, stripped
+source line text)`` rather than by line number, so entries survive
+unrelated edits above them. Entries are consumed as a multiset: two
+identical offending lines need two entries. Stale entries (nothing
+matched them) are reported so the baseline shrinks over time instead
+of fossilising.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.lint.violations import Violation
+
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+def _fingerprint(violation: Violation) -> Fingerprint:
+    return (violation.path, violation.rule_id, violation.snippet)
+
+
+def load_baseline(path: Path) -> "Counter[Fingerprint]":
+    """Load a baseline file into a fingerprint multiset."""
+    data = json.loads(path.read_text())
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} "
+            f"in {path}"
+        )
+    counts: "Counter[Fingerprint]" = Counter()
+    for entry in data.get("entries", []):
+        key = (entry["path"], entry["rule"], entry["text"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: Path, violations: Iterable[Violation]) -> int:
+    """Write the violations as the new baseline; returns entry count."""
+    counts: "Counter[Fingerprint]" = Counter(
+        _fingerprint(v) for v in violations
+    )
+    entries = [
+        {"path": fp[0], "rule": fp[1], "text": fp[2], "count": count}
+        for fp, count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return sum(counts.values())
+
+
+def apply_baseline(
+    violations: List[Violation], baseline: "Counter[Fingerprint]"
+) -> Tuple[List[Violation], int]:
+    """Split findings into (new, matched-count); stale = leftovers.
+
+    Returns the violations not covered by the baseline and the number
+    of baseline entries left unused (stale).
+    """
+    remaining = Counter(baseline)
+    fresh: List[Violation] = []
+    for violation in violations:
+        key = _fingerprint(violation)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(violation)
+    stale = sum(count for count in remaining.values() if count > 0)
+    return fresh, stale

@@ -1,0 +1,64 @@
+"""Inline suppression comments.
+
+Two forms, parsed from real tokens (so string literals that look like
+comments never trigger):
+
+* ``# lint: ignore[TMO001]`` / ``# lint: ignore[TMO001, TMO004]`` —
+  suppress the listed rules on this physical line; ``[*]`` suppresses
+  every rule on the line.
+* ``# lint: skip-file`` — skip the whole file.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set, Tuple
+
+_IGNORE_RE = re.compile(
+    r"#\s*lint:\s*ignore\[([A-Za-z0-9_*,\s]+)\]"
+)
+_SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file\b")
+
+#: Marker meaning "every rule" in a per-line ignore set.
+ALL_RULES = "*"
+
+
+def collect_ignores(source: str) -> Tuple[Dict[int, Set[str]], bool]:
+    """Parse ``source`` comments.
+
+    Returns ``(line -> suppressed rule ids, skip_file)``. Tokenisation
+    errors yield no suppressions — the engine reports the parse failure
+    separately.
+    """
+    ignores: Dict[int, Set[str]] = {}
+    skip_file = False
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            if _SKIP_FILE_RE.search(token.string):
+                skip_file = True
+            match = _IGNORE_RE.search(token.string)
+            if match:
+                rules = {
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+                line = token.start[0]
+                ignores.setdefault(line, set()).update(rules)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}, False
+    return ignores, skip_file
+
+
+def is_suppressed(
+    ignores: Dict[int, Set[str]], line: int, rule_id: str
+) -> bool:
+    rules = ignores.get(line)
+    if not rules:
+        return False
+    return rule_id in rules or ALL_RULES in rules

@@ -31,20 +31,20 @@ class RunningAverages:
     #: Total stall seconds folded in so far.
     last_total: float = 0.0
 
-    def update(self, total: float, period: float = PSI_AVG_PERIOD) -> None:
+    def update(self, total: float, period_s: float = PSI_AVG_PERIOD) -> None:
         """Fold the stall-total delta since the last update into the averages.
 
         Args:
             total: cumulative stall seconds for this state.
-            period: seconds elapsed since the previous update.
+            period_s: seconds elapsed since the previous update.
         """
-        if period <= 0:
-            raise ValueError(f"update period must be positive, got {period}")
+        if period_s <= 0:
+            raise ValueError(f"update period must be positive, got {period_s}")
         delta = max(0.0, total - self.last_total)
         self.last_total = total
-        sample = min(1.0, delta / period)
+        sample = min(1.0, delta / period_s)
         for window in self.avgs:
-            alpha = 1.0 - math.exp(-period / window)
+            alpha = 1.0 - math.exp(-period_s / window)
             self.avgs[window] += (sample - self.avgs[window]) * alpha
 
     @property

@@ -71,6 +71,10 @@ class PsiSystem:
     def group(self, name: str) -> PsiGroup:
         return self._groups[name]
 
+    def groups(self) -> List[PsiGroup]:
+        """All pressure domains, the system-wide one included."""
+        return list(self._groups.values())
+
     def _lineage(self, group: PsiGroup) -> Iterator[PsiGroup]:
         node: Optional[PsiGroup] = group
         while node is not None:

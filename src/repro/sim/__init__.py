@@ -7,6 +7,7 @@ receives exact state-transition timestamps derived from each quantum.
 
 from repro.sim.ab import ABReport, ABTest, SeriesDelta
 from repro.sim.clock import Clock
+from repro.sim.invariants import InvariantChecker, InvariantViolation
 from repro.sim.metrics import MetricsRecorder, Series
 from repro.sim.rng import derive_rng, derive_seed
 
@@ -15,6 +16,8 @@ __all__ = [
     "ABTest",
     "SeriesDelta",
     "Clock",
+    "InvariantChecker",
+    "InvariantViolation",
     "MetricsRecorder",
     "Series",
     "derive_rng",

@@ -34,6 +34,7 @@ from repro.kernel.reclaim import (
 from repro.psi.tracker import PsiSystem, PsiTask
 from repro.psi.types import Resource, TaskFlags
 from repro.sim.clock import Clock
+from repro.sim.invariants import InvariantChecker, checking_enabled
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.rng import derive_rng
 from repro.workloads.apps import AppProfile
@@ -62,7 +63,7 @@ class HostConfig:
     Attributes:
         ram_gb: physical DRAM.
         ncpu: logical CPUs.
-        page_size: bytes per simulated page (granularity knob).
+        page_size_bytes: bytes per simulated page (granularity knob).
         seed: master seed; everything stochastic derives from it.
         backend: ``"ssd"``, ``"zswap"`` or ``None`` (file-only mode).
         ssd_model: catalog letter for the host's SSD (A..G).
@@ -71,11 +72,14 @@ class HostConfig:
         zswap_max_frac: cap on the pool as a fraction of RAM.
         reclaim_policy: ``"tmo"`` or ``"legacy"`` balance algorithm.
         tick_s: simulation quantum.
+        check_invariants: run :mod:`repro.sim.invariants` after every
+            tick. ``None`` (the default) defers to the
+            ``TMO_CHECK_INVARIANTS`` environment variable.
     """
 
     ram_gb: float = 64.0
     ncpu: int = 36
-    page_size: int = 4 * _MB
+    page_size_bytes: int = 4 * _MB
     seed: int = 1234
     backend: Optional[str] = "zswap"
     ssd_model: str = "C"
@@ -85,6 +89,7 @@ class HostConfig:
     zswap_max_frac: float = 0.25
     reclaim_policy: str = "tmo"
     tick_s: float = 1.0
+    check_invariants: Optional[bool] = None
 
     @property
     def ram_bytes(self) -> int:
@@ -188,13 +193,20 @@ class Host:
         policy = self._make_policy(config.reclaim_policy)
         self.mm = MemoryManager(
             ram_bytes=config.ram_bytes,
-            page_size=config.page_size,
+            page_size_bytes=config.page_size_bytes,
             fs=self.fs,
             swap_backend=swap_backend,
             policy=policy,
         )
         #: The cgroupfs-style control surface (for file-based daemons).
         self.controlfs = ControlFs(self.mm, self.psi)
+        #: Debug-mode state cross-checker; None unless enabled via
+        #: config or TMO_CHECK_INVARIANTS.
+        self.invariants: Optional[InvariantChecker] = (
+            InvariantChecker()
+            if checking_enabled(config.check_invariants)
+            else None
+        )
 
     @staticmethod
     def _make_policy(name: str) -> ReclaimPolicy:
@@ -298,6 +310,8 @@ class Host:
             controller.poll(self, now1)
         self._record(results, now1, dt)
         self._tick_index += 1
+        if self.invariants is not None:
+            self.invariants.check(self)
 
     def run(self, duration_s: float) -> None:
         """Run the host loop for ``duration_s`` of virtual time."""

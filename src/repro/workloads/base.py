@@ -89,8 +89,8 @@ class Workload:
     # ------------------------------------------------------------------
 
     @property
-    def page_size(self) -> int:
-        return self.mm.page_size
+    def page_size_bytes(self) -> int:
+        return self.mm.page_size_bytes
 
     @property
     def pages(self) -> List[Page]:
@@ -103,7 +103,7 @@ class Workload:
 
     def size_pages(self) -> int:
         """Nominal page count from the profile's footprint."""
-        return max(1, int(self.profile.size_gb * _GB / self.page_size))
+        return max(1, int(self.profile.size_gb * _GB / self.page_size_bytes))
 
     def start(self, now: float, size_scale: float = 1.0) -> None:
         """Allocate the initial page population.
@@ -169,7 +169,7 @@ class Workload:
         rate = self.profile.growth_gb_per_hour * _GB / 3600.0
         if rate <= 0:
             return
-        self._growth_carry += rate * dt / self.page_size
+        self._growth_carry += rate * dt / self.page_size_bytes
         n_new = int(self._growth_carry)
         if n_new == 0:
             return

@@ -35,7 +35,7 @@ def make_mm(
         raise ValueError(backend)
     return MemoryManager(
         ram_bytes=ram_mb * MB,
-        page_size=page_kb * 1024,
+        page_size_bytes=page_kb * 1024,
         fs=fs,
         swap_backend=swap,
         policy=policy,
@@ -53,7 +53,7 @@ def small_host(
     config = HostConfig(
         ram_gb=ram_gb,
         ncpu=ncpu,
-        page_size=1 * MB,
+        page_size_bytes=1 * MB,
         seed=seed,
         backend=backend,
         **kwargs,

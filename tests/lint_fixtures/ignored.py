@@ -1,0 +1,15 @@
+"""Fixture: inline suppression comments."""
+
+import random
+
+
+def sanctioned():
+    return random.random()  # lint: ignore[TMO001]
+
+
+def all_rules():
+    return random.random()  # lint: ignore[*]
+
+
+def unsanctioned():
+    return random.random()

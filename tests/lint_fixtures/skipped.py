@@ -1,0 +1,8 @@
+"""Fixture: whole-file opt-out."""
+# lint: skip-file
+
+import random
+
+
+def anything_goes():
+    return random.random()

@@ -1,0 +1,12 @@
+"""Fixture: TMO001 violations — global RNG state."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    rng = np.random.default_rng(42)
+    noise = np.random.rand()
+    random.seed(7)
+    return rng, noise, random.random()

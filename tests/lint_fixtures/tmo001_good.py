@@ -1,0 +1,8 @@
+"""Fixture: the sanctioned RNG pattern — derive from the master seed."""
+
+from repro.sim.rng import derive_rng
+
+
+def draw(seed):
+    rng = derive_rng(seed, "fixture:draw")
+    return rng.random()

@@ -1,0 +1,10 @@
+"""Fixture: TMO002 violations — wall-clock and entropy reads."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    t0 = time.time()
+    time.sleep(0.1)
+    return t0, datetime.now()

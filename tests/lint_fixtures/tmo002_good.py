@@ -1,0 +1,5 @@
+"""Fixture: the sanctioned time source — the simulation clock."""
+
+
+def stamp(clock):
+    return clock.now

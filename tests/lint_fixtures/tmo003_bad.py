@@ -1,0 +1,11 @@
+"""Fixture: TMO003 violations — iterating bare sets."""
+
+
+def consume(pages):
+    groups = {page.cgroup for page in pages}
+    for group in groups:
+        print(group)
+    ordered = list(groups)
+    label = ",".join(groups)
+    upper = [g.upper() for g in groups]
+    return ordered, label, upper

@@ -1,0 +1,8 @@
+"""Fixture: the sanctioned traversal — sorted() fixes the order."""
+
+
+def consume(pages):
+    groups = {page.cgroup for page in pages}
+    for group in sorted(groups):
+        print(group)
+    return [g.upper() for g in sorted(groups)]

@@ -1,0 +1,15 @@
+"""Fixture: TMO004 violations — unit-less quantities, mixed units."""
+
+
+class Device:
+    """A device whose public surface hides its units."""
+
+    capacity = 100
+
+    def __init__(self, size, timeout_ms):
+        self.size = size
+        self.timeout_ms = timeout_ms
+
+
+def over_budget(limit_bytes, limit_pages):
+    return limit_bytes + limit_pages

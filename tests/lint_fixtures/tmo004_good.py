@@ -1,0 +1,16 @@
+"""Fixture: unit-suffixed quantities, conversions made explicit."""
+
+
+class Device:
+    """A device whose public surface states its units."""
+
+    capacity_bytes = 100
+
+    def __init__(self, size_bytes, timeout_ms):
+        self.size_bytes = size_bytes
+        self.timeout_ms = timeout_ms
+
+
+def over_budget(limit_bytes, limit_pages, page_size_bytes):
+    limit_pages_bytes = limit_pages * page_size_bytes
+    return limit_bytes + limit_pages_bytes

@@ -1,0 +1,16 @@
+"""Fixture: TMO005 violations — mutable default arguments."""
+
+import collections
+
+
+def append(item, items=[]):
+    items.append(item)
+    return items
+
+
+def tally(counts=collections.Counter()):
+    return counts
+
+
+def index(mapping=dict()):
+    return mapping

@@ -1,0 +1,8 @@
+"""Fixture: the sanctioned default — None plus in-body construction."""
+
+
+def append(item, items=None):
+    if items is None:
+        items = []
+    items.append(item)
+    return items

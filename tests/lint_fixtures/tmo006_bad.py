@@ -1,0 +1,11 @@
+"""Fixture: TMO006 violations — float equality on accumulated time."""
+
+
+def at_end(clock, end_s):
+    if clock.now == end_s:
+        return True
+    return clock.now != 0.0
+
+
+def deadline_hit(deadline, now):
+    return deadline == now

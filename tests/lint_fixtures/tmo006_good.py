@@ -1,0 +1,11 @@
+"""Fixture: sanctioned time comparisons — epsilon windows or ticks."""
+
+EPS_S = 1e-9
+
+
+def at_end(clock, end_s):
+    return clock.now >= end_s - EPS_S
+
+
+def deadline_hit(tick_index, deadline_tick):
+    return tick_index == deadline_tick

@@ -1,0 +1,12 @@
+"""Fixture: TMO007 violation — one generator feeds two components."""
+
+from repro.sim.rng import derive_rng
+
+from fixtures_support import Filesystem, make_device
+
+
+def build(seed):
+    rng = derive_rng(seed, "shared")
+    fs = Filesystem(rng)
+    dev = make_device(rng)
+    return fs, dev

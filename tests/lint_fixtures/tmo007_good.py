@@ -1,0 +1,11 @@
+"""Fixture: sanctioned RNG ownership — one derived stream per component."""
+
+from repro.sim.rng import derive_rng
+
+from fixtures_support import Filesystem, make_device
+
+
+def build(seed):
+    fs = Filesystem(derive_rng(seed, "fs"))
+    dev = make_device(derive_rng(seed, "device"))
+    return fs, dev

@@ -1,0 +1,15 @@
+"""Fixture: TMO008 violations — swallowed exceptions."""
+
+
+def careless(fn):
+    try:
+        return fn()
+    except:
+        return None
+
+
+def silent(fn):
+    try:
+        fn()
+    except Exception:
+        pass

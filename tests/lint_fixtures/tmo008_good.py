@@ -1,0 +1,9 @@
+"""Fixture: sanctioned handling — name the exception, act on it."""
+
+
+def careful(fn, log):
+    try:
+        return fn()
+    except (ValueError, KeyError) as exc:
+        log.append(str(exc))
+        return None

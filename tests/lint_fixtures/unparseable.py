@@ -1,0 +1,5 @@
+"""Fixture: a file the parser rejects (reported as TMO000)."""
+
+
+def broken(:
+    pass

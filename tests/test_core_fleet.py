@@ -78,7 +78,7 @@ def test_refault_reduces_file_savings():
 def small_fleet():
     return Fleet(
         base_config=HostConfig(
-            ram_gb=1.0, page_size=1 * MB, ncpu=8, backend="zswap",
+            ram_gb=1.0, page_size_bytes=1 * MB, ncpu=8, backend="zswap",
         ),
         seed=3,
     )

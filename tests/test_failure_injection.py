@@ -84,7 +84,7 @@ def test_restart_storm_under_senpai():
     # Books still balance after repeated teardown/rebuild.
     pages = host.workload("app").pages
     resident = sum(1 for p in pages if p.state is PageState.RESIDENT)
-    assert cg.resident_bytes == resident * host.mm.page_size
+    assert cg.resident_bytes == resident * host.mm.page_size_bytes
     assert host.mm.used_bytes() <= host.mm.ram_bytes
 
 

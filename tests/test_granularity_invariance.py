@@ -28,7 +28,7 @@ PROFILE = AppProfile(
 
 def run(page_mb: int, seed=21, duration=1200.0):
     host = Host(HostConfig(
-        ram_gb=2.0, ncpu=8, page_size=page_mb * MB, seed=seed,
+        ram_gb=2.0, ncpu=8, page_size_bytes=page_mb * MB, seed=seed,
         backend="zswap",
     ))
     host.add_workload(Workload, profile=PROFILE, name="app",

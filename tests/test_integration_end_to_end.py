@@ -48,8 +48,8 @@ def test_accounting_invariants_hold_after_long_run():
     pages = host.workload("app").pages
     resident = sum(1 for p in pages if p.state is PageState.RESIDENT)
     zswapped = sum(1 for p in pages if p.state is PageState.ZSWAPPED)
-    assert resident * mm.page_size == cg.resident_bytes
-    assert zswapped * mm.page_size == cg.zswap_bytes
+    assert resident * mm.page_size_bytes == cg.resident_bytes
+    assert zswapped * mm.page_size_bytes == cg.zswap_bytes
     # LRU lists hold exactly the resident pages.
     on_lru = sum(len(cg.lru[k]) for k in (PageKind.ANON, PageKind.FILE))
     assert on_lru == resident

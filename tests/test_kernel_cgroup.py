@@ -9,7 +9,7 @@ PAGE = 4096
 
 
 def test_charge_uncharge_roundtrip():
-    cg = Cgroup("g", page_size=PAGE)
+    cg = Cgroup("g", page_size_bytes=PAGE)
     cg.charge(PageKind.ANON, PAGE)
     cg.charge(PageKind.FILE, 2 * PAGE)
     assert cg.anon_bytes == PAGE
@@ -21,21 +21,21 @@ def test_charge_uncharge_roundtrip():
 
 
 def test_negative_accounting_detected():
-    cg = Cgroup("g", page_size=PAGE)
+    cg = Cgroup("g", page_size_bytes=PAGE)
     with pytest.raises(RuntimeError):
         cg.uncharge(PageKind.ANON, PAGE)
 
 
 def test_rejects_bad_page_size():
     with pytest.raises(ValueError):
-        Cgroup("g", page_size=0)
+        Cgroup("g", page_size_bytes=0)
 
 
 def test_hierarchical_current_bytes():
-    root = Cgroup("root", page_size=PAGE)
-    a = Cgroup("a", page_size=PAGE, parent=root)
-    b = Cgroup("b", page_size=PAGE, parent=root)
-    leaf = Cgroup("leaf", page_size=PAGE, parent=a)
+    root = Cgroup("root", page_size_bytes=PAGE)
+    a = Cgroup("a", page_size_bytes=PAGE, parent=root)
+    b = Cgroup("b", page_size_bytes=PAGE, parent=root)
+    leaf = Cgroup("leaf", page_size_bytes=PAGE, parent=a)
     a.charge(PageKind.ANON, PAGE)
     b.charge(PageKind.FILE, PAGE)
     leaf.charge(PageKind.ANON, 2 * PAGE)
@@ -45,38 +45,38 @@ def test_hierarchical_current_bytes():
 
 
 def test_duplicate_child_name_rejected():
-    root = Cgroup("root", page_size=PAGE)
-    Cgroup("a", page_size=PAGE, parent=root)
+    root = Cgroup("root", page_size_bytes=PAGE)
+    Cgroup("a", page_size_bytes=PAGE, parent=root)
     with pytest.raises(ValueError):
-        Cgroup("a", page_size=PAGE, parent=root)
+        Cgroup("a", page_size_bytes=PAGE, parent=root)
 
 
 def test_walk_and_leaves():
-    root = Cgroup("root", page_size=PAGE)
-    a = Cgroup("a", page_size=PAGE, parent=root)
-    leaf1 = Cgroup("leaf1", page_size=PAGE, parent=a)
-    leaf2 = Cgroup("leaf2", page_size=PAGE, parent=root)
+    root = Cgroup("root", page_size_bytes=PAGE)
+    a = Cgroup("a", page_size_bytes=PAGE, parent=root)
+    leaf1 = Cgroup("leaf1", page_size_bytes=PAGE, parent=a)
+    leaf2 = Cgroup("leaf2", page_size_bytes=PAGE, parent=root)
     names = [cg.name for cg in root.walk()]
     assert set(names) == {"root", "a", "leaf1", "leaf2"}
     assert {cg.name for cg in root.leaves()} == {"leaf1", "leaf2"}
 
 
 def test_ancestors_chain():
-    root = Cgroup("root", page_size=PAGE)
-    a = Cgroup("a", page_size=PAGE, parent=root)
-    leaf = Cgroup("leaf", page_size=PAGE, parent=a)
+    root = Cgroup("root", page_size_bytes=PAGE)
+    a = Cgroup("a", page_size_bytes=PAGE, parent=root)
+    leaf = Cgroup("leaf", page_size_bytes=PAGE, parent=a)
     assert [cg.name for cg in leaf.ancestors()] == ["a", "root"]
 
 
 def test_limit_headroom_unlimited():
-    cg = Cgroup("g", page_size=PAGE)
+    cg = Cgroup("g", page_size_bytes=PAGE)
     assert cg.limit_headroom() is None
 
 
 def test_limit_headroom_takes_tightest_ancestor():
-    root = Cgroup("root", page_size=PAGE)
-    a = Cgroup("a", page_size=PAGE, parent=root)
-    leaf = Cgroup("leaf", page_size=PAGE, parent=a)
+    root = Cgroup("root", page_size_bytes=PAGE)
+    a = Cgroup("a", page_size_bytes=PAGE, parent=root)
+    leaf = Cgroup("leaf", page_size_bytes=PAGE, parent=a)
     root.memory_max = 10 * PAGE
     a.memory_max = 4 * PAGE
     leaf.charge(PageKind.ANON, 2 * PAGE)
@@ -85,14 +85,14 @@ def test_limit_headroom_takes_tightest_ancestor():
 
 
 def test_offloaded_bytes():
-    cg = Cgroup("g", page_size=PAGE)
+    cg = Cgroup("g", page_size_bytes=PAGE)
     cg.swap_bytes = 3 * PAGE
     cg.zswap_bytes = PAGE
     assert cg.offloaded_bytes() == 4 * PAGE
 
 
 def test_update_rates_smooths_vmstat():
-    cg = Cgroup("g", page_size=PAGE)
+    cg = Cgroup("g", page_size_bytes=PAGE)
     cg.vmstat.workingset_refault = 30
     cg.update_rates(dt=30.0)  # full window: rate jumps to 1/s
     assert cg.refault_rate.rate == pytest.approx(1.0)

@@ -68,7 +68,7 @@ def test_forget_drops_entry():
 
 
 def test_capacity_bound_prunes_oldest():
-    shadow = ShadowMap(capacity=3)
+    shadow = ShadowMap(capacity_entries=3)
     for pid in range(5):
         shadow.record_eviction(pid)
     assert len(shadow) == 3

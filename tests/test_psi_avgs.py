@@ -63,7 +63,7 @@ def test_negative_delta_treated_as_zero():
 def test_rejects_nonpositive_period():
     avgs = RunningAverages()
     with pytest.raises(ValueError):
-        avgs.update(total=1.0, period=0.0)
+        avgs.update(total=1.0, period_s=0.0)
 
 
 def test_decay_to_zero_without_stall():

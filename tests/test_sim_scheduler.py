@@ -41,7 +41,7 @@ class ScriptedWorkload(Workload):
 
 def scripted_host(script, ncpu=4, nthreads=2):
     host = Host(HostConfig(
-        ram_gb=0.25, ncpu=ncpu, page_size=1 * MB, backend=None,
+        ram_gb=0.25, ncpu=ncpu, page_size_bytes=1 * MB, backend=None,
         seed=3, tick_s=1.0,
     ))
     profile = AppProfile(
@@ -130,7 +130,7 @@ def test_stall_fractions_preserved_over_many_ticks():
 
 def test_multiple_workloads_share_cpu_proportionally():
     host = Host(HostConfig(
-        ram_gb=0.25, ncpu=2, page_size=1 * MB, backend=None,
+        ram_gb=0.25, ncpu=2, page_size_bytes=1 * MB, backend=None,
         seed=3, tick_s=1.0,
     ))
     for name in ("a", "b"):

@@ -84,7 +84,7 @@ def test_released_pages_uncharge():
         # Accounting invariant holds through every breath.
         resident = sum(1 for p in w.pages if p.resident)
         assert mm.cgroup("app").resident_bytes == (
-            resident * mm.page_size
+            resident * mm.page_size_bytes
         )
 
 
