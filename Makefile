@@ -24,7 +24,7 @@ lint:
 		echo "== mypy not installed, skipping (pip install -e .[lint])"; \
 	fi
 	@echo "== repro.lint"
-	$(PYTHON) -m repro.lint
+	$(PYTHON) -m repro.lint --flow
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -28,7 +28,7 @@ class WriteRegulator:
         """
         if limit_mb_s <= 0:
             raise ValueError(f"write limit must be > 0, got {limit_mb_s}")
-        self.limit_bytes_s = limit_mb_s * _MB
+        self.limit_bytes_per_s = limit_mb_s * _MB
         self.window_s = window_s
         self._rate = 0.0
         self._last_bytes_written = 0
@@ -52,8 +52,8 @@ class WriteRegulator:
         self._last_bytes_written = bytes_written_total
         alpha = min(1.0, dt / self.window_s)
         self._rate += (delta / dt - self._rate) * alpha
-        if self._rate > self.limit_bytes_s:
-            self._allowance *= self.limit_bytes_s / self._rate
+        if self._rate > self.limit_bytes_per_s:
+            self._allowance *= self.limit_bytes_per_s / self._rate
             self._allowance = max(1e-3, self._allowance)
         else:
             # Gentle recovery while under budget.
@@ -69,4 +69,4 @@ class WriteRegulator:
 
     def file_only(self) -> bool:
         """Whether anon reclaim should pause entirely this period."""
-        return self._rate > 2.0 * self.limit_bytes_s
+        return self._rate > 2.0 * self.limit_bytes_per_s

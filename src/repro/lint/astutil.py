@@ -96,11 +96,25 @@ UNIT_SUFFIXES: Dict[str, str] = {
     "pbw": "pbw",
 }
 
+#: Compound rate suffixes, matched before the single-token fallback —
+#: ``x_bytes_per_s`` names a rate, not a duration (the naive rpartition
+#: parse would read its last token, ``s``, as seconds).
+RATE_SUFFIXES = (
+    ("_bytes_per_s", "bytes_per_s"),
+    ("_bytes_per_sec", "bytes_per_s"),
+    ("_pages_per_s", "pages_per_s"),
+    ("_pages_per_sec", "pages_per_s"),
+    ("_per_s", "per_s"),
+    ("_per_sec", "per_s"),
+)
+
 #: Units that denote a measurable quantity; mixing two *different*
-#: members of this set in one +/- or comparison is a unit bug.
+#: members of this set in one +/- or comparison is a unit bug. The
+#: generic ``per_s`` (``rate``, ``rps``, ``hz``…) is deliberately
+#: absent: it mixes legitimately with any specific rate.
 DIMENSIONED_UNITS = frozenset(
     {"bytes", "kb", "mb", "gb", "tb", "pages", "entries",
-     "s", "ms", "us", "ns"}
+     "s", "ms", "us", "ns", "bytes_per_s", "pages_per_s"}
 )
 
 #: Name stems that denote a size/duration/capacity without saying in
@@ -113,8 +127,11 @@ AMBIGUOUS_STEMS = frozenset(
 
 def unit_of(name: str) -> Optional[str]:
     """The canonical unit carried by ``name``'s suffix, or None."""
-    token = name.lower().rstrip("_").rpartition("_")[2]
-    return UNIT_SUFFIXES.get(token)
+    lowered = name.lower().rstrip("_")
+    for suffix, unit in RATE_SUFFIXES:
+        if lowered.endswith(suffix) or lowered == suffix[1:]:
+            return unit
+    return UNIT_SUFFIXES.get(lowered.rpartition("_")[2])
 
 
 def is_ambiguous_name(name: str) -> bool:

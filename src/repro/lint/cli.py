@@ -12,10 +12,19 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+import subprocess
+
 from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.config import default_config
-from repro.lint.engine import PARSE_ERROR_RULE, lint_paths
+from repro.lint.engine import (
+    PARSE_ERROR_RULE,
+    LintResult,
+    iter_python_files,
+    lint_paths,
+)
+from repro.lint.flow import DEFAULT_CACHE, analyze_flow
 from repro.lint.registry import RULES
+from repro.lint.violations import Violation
 
 DEFAULT_PATHS = ("src", "benchmarks", "examples", "tests")
 DEFAULT_BASELINE = "lint-baseline.json"
@@ -26,7 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="tmo-lint",
         description=(
             "Determinism & unit-discipline static analysis for the TMO "
-            "reproduction (rules TMO001-TMO008; see docs/LINTING.md)."
+            "reproduction (rules TMO001-TMO012; see docs/LINTING.md)."
         ),
     )
     parser.add_argument(
@@ -59,6 +68,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="write current findings to the baseline file and exit 0",
     )
     parser.add_argument(
+        "--flow", action="store_true",
+        help="also run the whole-program unit-flow and determinism-"
+             "taint analysis (rules TMO009-TMO012)",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only files changed relative to git HEAD "
+             "(staged, unstaged and untracked); with --flow the "
+             "analysis still reads the whole project for call "
+             "resolution but reports only on changed files",
+    )
+    parser.add_argument(
+        "--cache", type=Path, default=None, metavar="FILE",
+        help=f"flow-analysis cache file (default: {DEFAULT_CACHE})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="run the flow analysis without reading or writing a cache",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
@@ -82,6 +111,28 @@ def _parse_rule_list(
             f"known: {', '.join(sorted(RULES))}"
         )
     return rule_ids
+
+
+def _git_changed_files(parser: argparse.ArgumentParser) -> List[Path]:
+    """Python files changed vs HEAD (staged, unstaged, untracked)."""
+    names = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            parser.error(f"--changed requires a git checkout: {exc}")
+        names.update(
+            line.strip() for line in proc.stdout.splitlines() if line.strip()
+        )
+    return [
+        path for path in (Path(name) for name in sorted(names))
+        if path.suffix == ".py" and path.exists()
+    ]
 
 
 def _list_rules() -> None:
@@ -129,8 +180,37 @@ def _main(argv: Optional[List[str]] = None) -> int:
         if select is not None:
             select = [r for r in select if r not in disable]
 
-    result = lint_paths(paths, config, select)
-    violations = result.violations
+    changed: Optional[set] = None
+    if args.changed:
+        changed = {p.resolve() for p in _git_changed_files(parser)}
+
+    if changed is not None:
+        lint_targets: List[Path] = [
+            p for p in iter_python_files(paths, config)
+            if p.resolve() in changed
+        ]
+    else:
+        lint_targets = list(paths)
+
+    result = lint_paths(lint_targets, config, select) if lint_targets \
+        else LintResult()
+    violations = list(result.violations)
+
+    if args.flow:
+        cache_path = None if args.no_cache else (
+            args.cache or Path(DEFAULT_CACHE)
+        )
+        # The flow analysis always reads the full path set so cross-
+        # module calls resolve; --changed only narrows what we report.
+        flow_result = analyze_flow(paths, config, select, cache_path)
+        flow_violations = flow_result.violations
+        if changed is not None:
+            flow_violations = [
+                v for v in flow_violations
+                if Path(v.path).resolve() in changed
+            ]
+        violations = list(dict.fromkeys(violations + flow_violations))
+        violations.sort(key=Violation.sort_key)
 
     baseline_path = args.baseline
     if baseline_path is None and Path(DEFAULT_BASELINE).exists():

@@ -56,6 +56,9 @@ class LintRule:
     rule_id: str = ""
     name: str = ""
     summary: str = ""
+    #: True for whole-program rules driven by the flow analyzer
+    #: (``tmo-lint --flow``) rather than the per-file engine.
+    flow: bool = False
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:  # pragma: no cover
         raise NotImplementedError

@@ -1,0 +1,834 @@
+"""Interprocedural determinism-taint analysis (rule TMO012).
+
+TMO001/TMO002 flag a nondeterminism *source* at the line it is read;
+they cannot tell whether the value ever matters. This pass answers the
+question the reproduction actually cares about: **does a
+run-dependent value reach a metric or export sink?** A wall-clock
+read that only feeds a log message is noise; the same read folded
+into a recorded series silently invalidates every A/B comparison.
+
+Sources (each tagged with a human-readable description):
+
+* wall clock / host entropy — ``time.time``, ``datetime.now``,
+  ``os.urandom``, ``uuid.uuid4``, ...;
+* global RNG state — ``numpy.random.*`` module-level calls, the stdlib
+  ``random`` module (``derive_rng`` streams are *not* tainted: they
+  are pure functions of the seed);
+* process environment — ``os.environ[...]``, ``os.environ.get``,
+  ``os.getenv``;
+* hash randomisation — the ``hash()`` builtin on the iteration
+  variable of a ``set`` loop, and set iteration order itself;
+* filesystem enumeration order — ``os.listdir``, ``glob.glob``.
+
+Taint propagates through assignments, arithmetic, f-strings, returns
+and call arguments across module boundaries, using the same symbolic
+two-phase scheme as :mod:`repro.lint.unitflow`: phase A records
+serialisable taint expressions per file, phase B evaluates them
+against every function's summary and emits **TMO012**
+``nondeterministic-sink`` at:
+
+* a sink call whose argument is tainted inside the function, and
+* a call site that hands a tainted value to a parameter which the
+  callee (transitively) forwards into a sink.
+
+Sinks are metric/export calls: the recorder API
+(``MetricsRecorder.record``, ``Series.record``), everything in
+``repro.analysis.export`` / ``repro.analysis.reporting``, and — as a
+heuristic for code the resolver cannot type — any method call named
+``record``. The sink sets are per-rule options (see
+``repro.lint.config``), so downstream forks can extend them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.callgraph import (
+    ModuleInfo,
+    ModuleResolver,
+    ProjectIndex,
+    collect_self_attr_classes,
+)
+from repro.lint.registry import register
+from repro.lint.unitflow import FlowRule
+from repro.lint.violations import Violation
+
+# ----------------------------------------------------------------------
+# sources
+
+#: Fully-qualified callables whose return value is nondeterministic.
+TAINT_SOURCE_CALLS: Dict[str, str] = {
+    "time.time": "wall clock (time.time)",
+    "time.time_ns": "wall clock (time.time_ns)",
+    "time.monotonic": "wall clock (time.monotonic)",
+    "time.monotonic_ns": "wall clock (time.monotonic_ns)",
+    "time.perf_counter": "wall clock (time.perf_counter)",
+    "time.perf_counter_ns": "wall clock (time.perf_counter_ns)",
+    "time.process_time": "wall clock (time.process_time)",
+    "time.process_time_ns": "wall clock (time.process_time_ns)",
+    "datetime.datetime.now": "wall clock (datetime.now)",
+    "datetime.datetime.utcnow": "wall clock (datetime.utcnow)",
+    "datetime.datetime.today": "wall clock (datetime.today)",
+    "datetime.date.today": "wall clock (date.today)",
+    "os.urandom": "host entropy (os.urandom)",
+    "os.getrandom": "host entropy (os.getrandom)",
+    "uuid.uuid1": "host entropy (uuid.uuid1)",
+    "uuid.uuid4": "host entropy (uuid.uuid4)",
+    "os.getenv": "process environment (os.getenv)",
+    "os.environ.get": "process environment (os.environ.get)",
+    "os.getpid": "process id (os.getpid)",
+    "os.listdir": "filesystem order (os.listdir)",
+    "os.scandir": "filesystem order (os.scandir)",
+    "glob.glob": "filesystem order (glob.glob)",
+    "glob.iglob": "filesystem order (glob.iglob)",
+}
+
+#: Call-name prefixes that taint (module-level RNG state).
+TAINT_SOURCE_PREFIXES: Tuple[Tuple[str, str], ...] = (
+    ("numpy.random.", "global numpy RNG state"),
+    ("random.", "stdlib random module (hidden global state)"),
+)
+
+#: numpy.random entry points that are deterministic *when seeded*.
+_SEEDED_OK = frozenset({"numpy.random.default_rng", "numpy.random.Generator"})
+
+
+# ----------------------------------------------------------------------
+# symbolic taint expressions (JSON-serialisable)
+#
+#   ["t", description]               tainted by a named source
+#   ["ok"]                           clean
+#   ["p", index]                     taint of parameter `index`
+#   ["c", key, bound, [args], {kw}]  taint of a project call's result
+#   ["or", [exprs]]                  any-of
+
+CLEAN: List[Any] = ["ok"]
+
+
+def _or(exprs: List[List[Any]]) -> List[Any]:
+    real = [e for e in exprs if e != CLEAN]
+    if not real:
+        return CLEAN
+    if len(real) == 1:
+        return real[0]
+    return ["or", real]
+
+
+class _FunctionTaint:
+    """Phase-A taint walker for one function body."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        resolver: ModuleResolver,
+        lines: List[str],
+        key: str,
+        params: List[str],
+        self_class: Optional[str],
+        self_attr_classes: Dict[str, str],
+        out: Dict[str, Any],
+        sink_options: Dict[str, Any],
+    ) -> None:
+        self.module = module
+        self.resolver = resolver
+        self.lines = lines
+        self.key = key
+        self.params = params
+        self.self_class = self_class
+        self.self_attr_classes = self_attr_classes
+        self.out = out
+        self.sink_suffixes: Tuple[str, ...] = tuple(
+            sink_options.get("sink_call_suffixes", ())
+        )
+        self.sink_methods: Set[str] = set(
+            sink_options.get("sink_method_names", ())
+        )
+        self.env: Dict[str, List[Any]] = {}
+        self.local_classes: Dict[str, str] = {}
+        self.returns: List[List[Any]] = []
+        self._seen: Set[Tuple[str, int, int, str]] = set()
+        for i, name in enumerate(params):
+            self.env[name] = ["p", i]
+
+    # -- recording -----------------------------------------------------
+
+    def _snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def _record(
+        self, bucket: str, node: ast.AST, tag: str, **payload
+    ) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        dedupe = (bucket, line, col, tag)
+        if dedupe in self._seen:
+            return
+        self._seen.add(dedupe)
+        payload.update(
+            line=line, col=col, snippet=self._snippet(line), owner=self.key,
+        )
+        self.out.setdefault(bucket, []).append(payload)
+
+    # -- expression taint ----------------------------------------------
+
+    def taint_expr(self, node: ast.AST) -> List[Any]:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, CLEAN)
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name):
+                # os.environ consumed as a mapping elsewhere.
+                resolved = self.module.imports.get(base.id)
+                if resolved and resolved[1] == "os" and node.attr == "environ":
+                    return ["t", "process environment (os.environ)"]
+                return self.env.get(base.id, CLEAN)
+            return self.taint_expr(base)
+        if isinstance(node, ast.Subscript):
+            return self.taint_expr(node.value)
+        if isinstance(node, ast.Constant):
+            return CLEAN
+        if isinstance(node, (ast.UnaryOp,)):
+            return self.taint_expr(node.operand)
+        if isinstance(node, ast.BinOp):
+            return _or([self.taint_expr(node.left),
+                        self.taint_expr(node.right)])
+        if isinstance(node, ast.BoolOp):
+            return _or([self.taint_expr(v) for v in node.values])
+        if isinstance(node, ast.Compare):
+            return _or([self.taint_expr(node.left)]
+                       + [self.taint_expr(c) for c in node.comparators])
+        if isinstance(node, ast.IfExp):
+            return _or([self.taint_expr(node.body),
+                        self.taint_expr(node.orelse)])
+        if isinstance(node, ast.JoinedStr):
+            return _or([
+                self.taint_expr(v.value)
+                for v in node.values if isinstance(v, ast.FormattedValue)
+            ])
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return _or([self.taint_expr(e) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            parts = [self.taint_expr(v) for v in node.values]
+            parts += [self.taint_expr(k) for k in node.keys if k is not None]
+            return _or(parts)
+        if isinstance(node, ast.Starred):
+            return self.taint_expr(node.value)
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        return CLEAN
+
+    def _source_of_call(self, node: ast.Call) -> Optional[str]:
+        """Source description when the call is itself a taint source."""
+        dotted = _dotted(node.func)
+        if dotted is None:
+            if isinstance(node.func, ast.Name) and node.func.id == "hash":
+                return "hash randomisation (hash() builtin)"
+            return None
+        resolved = _resolve_external(self.module, dotted)
+        if resolved is None:
+            return None
+        if resolved in TAINT_SOURCE_CALLS:
+            return TAINT_SOURCE_CALLS[resolved]
+        if resolved in _SEEDED_OK:
+            # default_rng() with no seed pulls host entropy.
+            if not node.args and not node.keywords:
+                return "host entropy (unseeded default_rng)"
+            return None
+        for prefix, description in TAINT_SOURCE_PREFIXES:
+            if resolved.startswith(prefix) or resolved == prefix.rstrip("."):
+                return description
+        return None
+
+    def _sink_name(self, node: ast.Call) -> Optional[str]:
+        """Sink label when the call is a metric/export sink."""
+        resolved = self.resolver.resolve_call(
+            node, self.local_classes, self.self_class, self.self_attr_classes
+        )
+        if resolved is not None and resolved[0] == "func":
+            key = resolved[1]
+            for suffix in self.sink_suffixes:
+                if key == suffix or key.endswith("." + suffix):
+                    return key
+            if key.rpartition(".")[2] in self.sink_methods:
+                return key
+            return None
+        if (
+            resolved is None
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self.sink_methods
+        ):
+            return f"<unresolved>.{node.func.attr}"
+        return None
+
+    def _call_taint(self, node: ast.Call) -> List[Any]:
+        source = self._source_of_call(node)
+        if source is not None:
+            return ["t", source]
+
+        arg_taints = [self.taint_expr(a) for a in node.args
+                      if not isinstance(a, ast.Starred)]
+        kw_taints = {
+            kw.arg: self.taint_expr(kw.value)
+            for kw in node.keywords if kw.arg is not None
+        }
+
+        sink = self._sink_name(node)
+        if sink is not None:
+            self._record(
+                "sinks", node, tag=sink, sink=sink,
+                args=arg_taints, kwargs=kw_taints,
+            )
+
+        resolved = self.resolver.resolve_call(
+            node, self.local_classes, self.self_class, self.self_attr_classes
+        )
+        if resolved is None:
+            # Unknown callable: assume it neither launders nor adds
+            # taint; pass through the arguments' taint (str(), f-string
+            # helpers, numpy ufuncs all behave this way).
+            return _or(arg_taints + list(kw_taints.values()))
+        kind, key, bound = resolved
+        if kind == "class":
+            self._record(
+                "calls", node, tag=key, kind=kind, key=key,
+                bound=int(bound), args=arg_taints, kwargs=kw_taints,
+            )
+            return _or(arg_taints + list(kw_taints.values()))
+        self._record(
+            "calls", node, tag=key, kind=kind, key=key,
+            bound=int(bound), args=arg_taints, kwargs=kw_taints,
+        )
+        return ["c", key, int(bound), arg_taints, kw_taints]
+
+    # -- statements ----------------------------------------------------
+
+    def walk_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self.taint_expr(stmt.value)
+            self._sweep_calls(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(stmt, target, taint)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                taint = self.taint_expr(stmt.value)
+                self._sweep_calls(stmt.value)
+                self._bind_target(stmt, stmt.target, taint)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.taint_expr(stmt.value)
+            self._sweep_calls(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                prev = self.env.get(stmt.target.id, CLEAN)
+                self.env[stmt.target.id] = _or([prev, taint])
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns.append(self.taint_expr(stmt.value))
+                self._sweep_calls(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.taint_expr(stmt.value)
+            self._sweep_calls(stmt.value)
+        elif isinstance(stmt, ast.For):
+            self._sweep_calls(stmt.iter)
+            element = self.taint_expr(stmt.iter)
+            if _is_set_iteration(stmt.iter, self.env):
+                element = _or([
+                    element, ["t", "set iteration order (PYTHONHASHSEED)"]
+                ])
+            for target_name in _target_names(stmt.target):
+                self.env[target_name] = element
+            self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._sweep_calls(stmt.test)
+            self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._sweep_calls(stmt.test)
+            self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._sweep_calls(item.context_expr)
+            self.walk_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.walk_body(stmt.body)
+            for handler in stmt.handlers:
+                self.walk_body(handler.body)
+            self.walk_body(stmt.orelse)
+            self.walk_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.Assert, ast.Raise, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._sweep_calls(child)
+
+    def _bind_target(
+        self, stmt: ast.stmt, target: ast.expr, taint: List[Any]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                if isinstance(value, ast.Call):
+                    resolved = self.resolver.resolve_call(
+                        value, self.local_classes,
+                        self.self_class, self.self_attr_classes,
+                    )
+                    if resolved is not None and resolved[0] == "class":
+                        self.local_classes[target.id] = resolved[1]
+        elif isinstance(target, ast.Tuple):
+            for elt in target.elts:
+                self._bind_target(stmt, elt, taint)
+
+    def _sweep_calls(self, node: ast.expr) -> None:
+        """Record sink/call sites hidden in conditions and nesting."""
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self.taint_expr(child)
+
+    def finish(self) -> Dict[str, Any]:
+        if not self.returns:
+            ret = CLEAN
+        else:
+            ret = _or(self.returns)
+        return {"params": self.params, "ret": ret}
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    return []
+
+
+def _is_set_iteration(node: ast.AST, env: Dict[str, Any]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    return False
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _resolve_external(module: ModuleInfo, dotted: str) -> Optional[str]:
+    """Canonicalise a dotted call through the module's imports."""
+    head, _, rest = dotted.partition(".")
+    imported = module.imports.get(head)
+    if imported is None:
+        return None
+    kind, target = imported
+    if kind == "mod":
+        full = f"{target}.{rest}" if rest else target
+    else:
+        full = f"{target}.{rest}" if rest else target
+    return full.replace("np.", "numpy.", 1) if full.startswith("np.") else full
+
+
+# ----------------------------------------------------------------------
+# phase A driver
+
+
+def collect_module(
+    module: ModuleInfo,
+    index: ProjectIndex,
+    source: str,
+    sink_options: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Extract taint facts for one parsed module."""
+    assert module.tree is not None
+    resolver = ModuleResolver(index, module)
+    lines = source.splitlines()
+    functions: Dict[str, Dict[str, Any]] = {}
+    records: Dict[str, Any] = {}
+
+    def analyse(
+        key: str,
+        params: List[str],
+        body: Sequence[ast.stmt],
+        self_class: Optional[str],
+        self_attrs: Dict[str, str],
+    ) -> None:
+        walker = _FunctionTaint(
+            module, resolver, lines, key, params,
+            self_class, self_attrs, records, sink_options,
+        )
+        walker.walk_body(body)
+        functions[key] = walker.finish()
+        for stmt in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested = _FunctionTaint(
+                    module, resolver, lines,
+                    f"{key}.<local>.{stmt.name}", _params_of(stmt),
+                    self_class, self_attrs, records, sink_options,
+                )
+                nested.walk_body(stmt.body)
+
+    toplevel = [
+        stmt for stmt in module.tree.body
+        if not isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+    ]
+    analyse(f"{module.name}.<toplevel>", [], toplevel, None, {})
+
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            analyse(
+                f"{module.name}.{stmt.name}", _params_of(stmt),
+                stmt.body, None, {},
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            class_key = f"{module.name}.{stmt.name}"
+            self_attrs = collect_self_attr_classes(resolver, stmt)
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    analyse(
+                        f"{class_key}.{item.name}", _params_of(item),
+                        item.body, class_key, self_attrs,
+                    )
+
+    return {
+        "functions": functions,
+        "sinks": records.get("sinks", []),
+        "calls": records.get("calls", []),
+    }
+
+
+def _params_of(func: ast.AST) -> List[str]:
+    args = func.args
+    return [a.arg for a in
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)]
+
+
+# ----------------------------------------------------------------------
+# phase B: evaluation
+
+
+class TaintEvaluator:
+    """Evaluates taint expressions against every function summary."""
+
+    def __init__(self, facts_by_path: Dict[str, Dict[str, Any]]) -> None:
+        self.functions: Dict[str, Dict[str, Any]] = {}
+        for facts in facts_by_path.values():
+            self.functions.update(facts.get("taint", {}).get("functions", {}))
+
+    def evaluate(
+        self,
+        expr: Sequence[Any],
+        param_env: Optional[Dict[int, Optional[str]]] = None,
+        stack: Optional[Set[str]] = None,
+    ) -> Optional[str]:
+        """Source description if tainted, else None."""
+        tag = expr[0]
+        if tag == "ok":
+            return None
+        if tag == "t":
+            return expr[1]
+        if tag == "p":
+            if param_env is not None:
+                return param_env.get(expr[1])
+            return None
+        if tag == "or":
+            for sub in expr[1]:
+                found = self.evaluate(sub, param_env, stack)
+                if found is not None:
+                    return found
+            return None
+        if tag == "c":
+            _, key, bound, args, kwargs = expr
+            func = self.functions.get(key)
+            if func is None:
+                # Unresolvable summary: propagate argument taint.
+                for sub in list(args) + list(kwargs.values()):
+                    found = self.evaluate(sub, param_env, stack)
+                    if found is not None:
+                        return found
+                return None
+            stack = stack or set()
+            if key in stack:
+                return None
+            params = list(func["params"])
+            offset = (
+                1 if bound and params and params[0] in ("self", "cls") else 0
+            )
+            callee_env: Dict[int, Optional[str]] = {}
+            for i, arg in enumerate(args):
+                idx = i + offset
+                if idx < len(params):
+                    callee_env[idx] = self.evaluate(arg, param_env, stack)
+            for name, arg in kwargs.items():
+                if name in params:
+                    callee_env[params.index(name)] = self.evaluate(
+                        arg, param_env, stack
+                    )
+            return self.evaluate(func["ret"], callee_env, stack | {key})
+        return None
+
+    def param_deps(self, expr: Sequence[Any]) -> Set[int]:
+        """Parameter indices whose taint can make ``expr`` tainted."""
+        tag = expr[0]
+        if tag == "p":
+            return {expr[1]}
+        if tag == "or":
+            out: Set[int] = set()
+            for sub in expr[1]:
+                out |= self.param_deps(sub)
+            return out
+        if tag == "c":
+            _, key, bound, args, kwargs = expr
+            func = self.functions.get(key)
+            out = set()
+            if func is None:
+                for sub in list(args) + list(kwargs.values()):
+                    out |= self.param_deps(sub)
+                return out
+            params = list(func["params"])
+            offset = (
+                1 if bound and params and params[0] in ("self", "cls") else 0
+            )
+            ret_deps = self._return_param_deps(key)
+            for i, arg in enumerate(args):
+                if (i + offset) in ret_deps:
+                    out |= self.param_deps(arg)
+            for name, arg in kwargs.items():
+                if name in params and params.index(name) in ret_deps:
+                    out |= self.param_deps(arg)
+            return out
+        return set()
+
+    def _return_param_deps(
+        self, key: str, _stack: Optional[Set[str]] = None
+    ) -> Set[int]:
+        stack = _stack or set()
+        if key in stack:
+            return set()
+        func = self.functions.get(key)
+        if func is None:
+            return set()
+        stack = stack | {key}
+        # Inline param_deps with the extended stack to stay cycle-safe.
+        return self._deps_with_stack(func["ret"], stack)
+
+    def _deps_with_stack(
+        self, expr: Sequence[Any], stack: Set[str]
+    ) -> Set[int]:
+        tag = expr[0]
+        if tag == "p":
+            return {expr[1]}
+        if tag == "or":
+            out: Set[int] = set()
+            for sub in expr[1]:
+                out |= self._deps_with_stack(sub, stack)
+            return out
+        if tag == "c":
+            _, key, bound, args, kwargs = expr
+            func = self.functions.get(key)
+            out = set()
+            if func is None:
+                for sub in list(args) + list(kwargs.values()):
+                    out |= self._deps_with_stack(sub, stack)
+                return out
+            params = list(func["params"])
+            offset = (
+                1 if bound and params and params[0] in ("self", "cls") else 0
+            )
+            ret_deps = (
+                set() if key in stack
+                else self._deps_with_stack(func["ret"], stack | {key})
+            )
+            for i, arg in enumerate(args):
+                if (i + offset) in ret_deps:
+                    out |= self._deps_with_stack(arg, stack)
+            for name, arg in kwargs.items():
+                if name in params and params.index(name) in ret_deps:
+                    out |= self._deps_with_stack(arg, stack)
+            return out
+        return set()
+
+
+def compute_sink_params(
+    facts_by_path: Dict[str, Dict[str, Any]],
+    evaluator: TaintEvaluator,
+) -> Dict[str, Dict[int, str]]:
+    """Fixed point: function key → {param index → sink description}.
+
+    A parameter is sink-flowing when its taint can reach a sink call
+    inside the function, directly or through a callee's sink-flowing
+    parameter.
+    """
+    # Gather each function's sink sites and call sites, keyed by the
+    # function they appear in. Records do not carry their enclosing
+    # function; recover it by re-grouping at collection time instead —
+    # the records were stored flat per module, so group by evaluation.
+    flows: Dict[str, Dict[int, str]] = {}
+    # Seed: direct parameter → sink edges.
+    for facts in facts_by_path.values():
+        taint = facts.get("taint", {})
+        for record in taint.get("sinks", []):
+            owner = record.get("owner")
+            if owner is None:
+                continue
+            for expr in list(record["args"]) + list(
+                record["kwargs"].values()
+            ):
+                for idx in evaluator.param_deps(expr):
+                    flows.setdefault(owner, {}).setdefault(
+                        idx, record["sink"]
+                    )
+    # Transitive closure through call sites.
+    changed = True
+    while changed:
+        changed = False
+        for facts in facts_by_path.values():
+            taint = facts.get("taint", {})
+            for record in taint.get("calls", []):
+                owner = record.get("owner")
+                callee_flows = flows.get(record["key"])
+                if owner is None or not callee_flows:
+                    continue
+                func = evaluator.functions.get(record["key"])
+                params = list(func["params"]) if func else []
+                offset = (
+                    1 if record["bound"] and params
+                    and params[0] in ("self", "cls") else 0
+                )
+                for i, arg in enumerate(record["args"]):
+                    sink = callee_flows.get(i + offset)
+                    if sink is None:
+                        continue
+                    for idx in evaluator.param_deps(arg):
+                        if idx not in flows.get(owner, {}):
+                            flows.setdefault(owner, {})[idx] = sink
+                            changed = True
+                for name, arg in record["kwargs"].items():
+                    if name not in params:
+                        continue
+                    sink = callee_flows.get(params.index(name))
+                    if sink is None:
+                        continue
+                    for idx in evaluator.param_deps(arg):
+                        if idx not in flows.get(owner, {}):
+                            flows.setdefault(owner, {})[idx] = sink
+                            changed = True
+    return flows
+
+
+def check(
+    facts_by_path: Dict[str, Dict[str, Any]],
+) -> Iterator[Violation]:
+    """Phase B: emit TMO012 findings."""
+    evaluator = TaintEvaluator(facts_by_path)
+    sink_params = compute_sink_params(facts_by_path, evaluator)
+    for path in sorted(facts_by_path):
+        taint = facts_by_path[path].get("taint", {})
+        # A call can be a sink itself *and* forward into a deeper sink
+        # (MetricsRecorder.record → Series.record); report it once.
+        sink_sites = {
+            (record["line"], record["col"])
+            for record in taint.get("sinks", [])
+        }
+        for record in taint.get("sinks", []):
+            for expr in list(record["args"]) + list(
+                record["kwargs"].values()
+            ):
+                source = evaluator.evaluate(expr)
+                if source is not None:
+                    yield Violation(
+                        path=path, line=record["line"], col=record["col"],
+                        rule_id="TMO012",
+                        message=(
+                            f"value derived from {source} reaches metric/"
+                            f"export sink {record['sink']}; record only "
+                            "seed-deterministic quantities"
+                        ),
+                        snippet=record["snippet"],
+                    )
+                    break  # one finding per sink call
+        for record in taint.get("calls", []):
+            if (record["line"], record["col"]) in sink_sites:
+                continue
+            callee_flows = sink_params.get(record["key"])
+            if not callee_flows:
+                continue
+            func = evaluator.functions.get(record["key"])
+            params = list(func["params"]) if func else []
+            offset = (
+                1 if record["bound"] and params
+                and params[0] in ("self", "cls") else 0
+            )
+            emitted = False
+            for i, arg in enumerate(record["args"]):
+                sink = callee_flows.get(i + offset)
+                if sink is None:
+                    continue
+                source = evaluator.evaluate(arg)
+                if source is not None:
+                    yield Violation(
+                        path=path, line=record["line"], col=record["col"],
+                        rule_id="TMO012",
+                        message=(
+                            f"argument derived from {source} flows "
+                            f"through {record['key'].rpartition('.')[2]}() "
+                            f"into metric/export sink {sink}"
+                        ),
+                        snippet=record["snippet"],
+                    )
+                    emitted = True
+                    break
+            if emitted:
+                continue
+            for name, arg in record["kwargs"].items():
+                if name not in params:
+                    continue
+                sink = callee_flows.get(params.index(name))
+                if sink is None:
+                    continue
+                source = evaluator.evaluate(arg)
+                if source is not None:
+                    yield Violation(
+                        path=path, line=record["line"], col=record["col"],
+                        rule_id="TMO012",
+                        message=(
+                            f"argument derived from {source} flows "
+                            f"through {record['key'].rpartition('.')[2]}() "
+                            f"into metric/export sink {sink}"
+                        ),
+                        snippet=record["snippet"],
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# rule registration
+
+
+@register
+class NondeterministicSinkRule(FlowRule):
+    rule_id = "TMO012"
+    name = "nondeterministic-sink"
+    summary = (
+        "nondeterministic value reaches a metric/export sink (flow pass)"
+    )

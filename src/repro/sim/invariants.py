@@ -136,16 +136,16 @@ class InvariantChecker:
         psize = mm.page_size_bytes
         for cgroup in mm.cgroups():
             for kind in (PageKind.ANON, PageKind.FILE):
-                lru_pages = len(cgroup.lru[kind]) * psize
+                lru_bytes = len(cgroup.lru[kind]) * psize
                 counter = (
                     cgroup.anon_bytes
                     if kind is PageKind.ANON
                     else cgroup.file_bytes
                 )
-                if lru_pages != counter:
+                if lru_bytes != counter:
                     raise InvariantViolation(
                         f"cgroup {cgroup.name!r}: {kind.name} LRU holds "
-                        f"{len(cgroup.lru[kind])} pages ({lru_pages} B) "
+                        f"{len(cgroup.lru[kind])} pages ({lru_bytes} B) "
                         f"but the byte counter says {counter} B"
                     )
 

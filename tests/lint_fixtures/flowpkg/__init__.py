@@ -1,0 +1,6 @@
+"""Fixture package for the whole-program flow analysis tests.
+
+Every bug in here crosses a function or module boundary, so none of
+the per-file rules (TMO001-TMO008) can see it; the files exist to pin
+the interprocedural rules TMO009-TMO012 to exact lines.
+"""

@@ -1,0 +1,23 @@
+"""Cross-module unit bugs the flow pass must catch."""
+
+from flowpkg.convert import to_pages, window_s
+
+LIMIT_BYTES = 1 << 30
+
+
+def reclaim_period(spill_pages):
+    return spill_pages + window_s()  # TMO009: pages + seconds
+
+
+def set_limit(limit_bytes):
+    return limit_bytes
+
+
+def misconfigured_limit():
+    spare = to_pages(LIMIT_BYTES)
+    return set_limit(spare)  # TMO010: pages into a bytes parameter
+
+
+def cap_from_pages():
+    cap_bytes = to_pages(LIMIT_BYTES)  # TMO011: pages bound to *_bytes
+    return cap_bytes

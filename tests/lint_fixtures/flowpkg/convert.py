@@ -1,0 +1,13 @@
+"""Unit helpers the buggy fixture modules call across the package."""
+
+PAGE_SIZE_BYTES = 4096
+
+
+def to_pages(amount_bytes):
+    n_pages = amount_bytes // PAGE_SIZE_BYTES
+    return n_pages
+
+
+def window_s():
+    period_s = 60.0
+    return period_s

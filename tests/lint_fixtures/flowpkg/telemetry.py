@@ -1,0 +1,27 @@
+"""Determinism-taint fixture: wall clock reaching a metric sink."""
+
+import time
+
+
+class Recorder:
+    def __init__(self):
+        self.rows = []
+
+    def record(self, name, t, value):
+        self.rows.append((name, t, value))
+
+
+def stamp():
+    return time.time()
+
+
+def flush(rec, value):
+    rec.record("tick", stamp(), value)  # TMO012: wall clock at the sink
+
+
+def report(rec, t):
+    rec.record("tick", t, 0.0)
+
+
+def relay(rec):
+    report(rec, time.time())  # TMO012: taint through report() into record

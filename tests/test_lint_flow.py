@@ -1,0 +1,236 @@
+"""End-to-end tests of the whole-program flow analysis (TMO009-012).
+
+The flowpkg fixture package seeds one bug per flow rule, each crossing
+a function or module boundary so no per-file rule could see it; the
+assertions pin exact rule ids and line numbers.
+"""
+
+import subprocess
+from pathlib import Path
+from textwrap import dedent
+
+from repro.lint import cli
+from repro.lint.flow import analyze_flow, flow_rule_ids
+
+FLOWPKG = Path("tests/lint_fixtures/flowpkg")
+FLOW_RULES = sorted(flow_rule_ids())
+
+
+def _findings(paths, select=FLOW_RULES, cache_path=None):
+    result = analyze_flow(paths, select=select, cache_path=cache_path)
+    return [
+        (v.rule_id, v.path.rpartition("/")[2], v.line)
+        for v in result.violations
+    ]
+
+
+# ----------------------------------------------------------------------
+# the fixture package
+
+
+def test_fixture_package_findings_exact():
+    assert _findings([FLOWPKG]) == [
+        ("TMO009", "consume.py", 9),   # pages + seconds across modules
+        ("TMO010", "consume.py", 18),  # pages into a bytes parameter
+        ("TMO011", "consume.py", 22),  # pages bound to *_bytes name
+        ("TMO012", "telemetry.py", 19),  # wall clock at the sink
+        ("TMO012", "telemetry.py", 27),  # taint through report()
+    ]
+
+
+def test_fixture_messages_name_the_units_and_sources():
+    result = analyze_flow([FLOWPKG], select=FLOW_RULES)
+    by_rule = {v.rule_id: v.message for v in result.violations}
+    assert "'pages'" in by_rule["TMO009"] and "'s'" in by_rule["TMO009"]
+    assert "'limit_bytes'" in by_rule["TMO010"]
+    assert "'cap_bytes'" in by_rule["TMO011"]
+    assert "time.time" in by_rule["TMO012"]
+
+
+def test_select_narrows_flow_rules():
+    only_taint = _findings([FLOWPKG], select=["TMO012"])
+    assert [rule for rule, _, _ in only_taint] == ["TMO012", "TMO012"]
+
+
+# ----------------------------------------------------------------------
+# suppression and scope plumbing
+
+
+def test_inline_ignore_suppresses_flow_finding(tmp_path):
+    target = tmp_path / "solo.py"
+    target.write_text(dedent("""\
+        def dram_bytes():
+            total_bytes = 4096
+            return total_bytes
+
+
+        def use():
+            cap_pages = dram_bytes()  # lint: ignore[TMO011]
+            return cap_pages
+    """))
+    assert _findings([target]) == []
+
+
+def test_skip_file_suppresses_flow_findings(tmp_path):
+    target = tmp_path / "skipme.py"
+    target.write_text(dedent("""\
+        # lint: skip-file
+        def dram_bytes():
+            total_bytes = 4096
+            return total_bytes
+
+
+        def use():
+            cap_pages = dram_bytes()
+            return cap_pages
+    """))
+    assert _findings([target]) == []
+
+
+def test_unparseable_file_reports_tmo000(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    result = analyze_flow([bad], select=FLOW_RULES)
+    assert [v.rule_id for v in result.violations] == ["TMO000"]
+
+
+# ----------------------------------------------------------------------
+# the on-disk cache
+
+
+def _write_pkg(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "a.py").write_text(dedent("""\
+        def dram_bytes():
+            total_bytes = 4096
+            return total_bytes
+    """))
+    (pkg / "b.py").write_text(dedent("""\
+        from pkg.a import dram_bytes
+
+
+        def use():
+            cap_pages = dram_bytes()
+            return cap_pages
+    """))
+    return pkg
+
+
+def test_cache_hits_and_body_edit_invalidation(tmp_path):
+    pkg = _write_pkg(tmp_path)
+    cache = tmp_path / "cache.json"
+
+    first = analyze_flow([pkg], select=FLOW_RULES, cache_path=cache)
+    assert (first.cache_hits, first.cache_misses) == (0, 3)
+    assert [(v.rule_id, v.line) for v in first.violations] == [("TMO011", 5)]
+
+    second = analyze_flow([pkg], select=FLOW_RULES, cache_path=cache)
+    assert (second.cache_hits, second.cache_misses) == (3, 0)
+    assert [(v.rule_id, v.line) for v in second.violations] == [
+        ("TMO011", 5)
+    ]
+
+    # Fixing b's body re-analyses only b: the interface is unchanged,
+    # so a.py and __init__.py stay cached.
+    (pkg / "b.py").write_text(dedent("""\
+        from pkg.a import dram_bytes
+
+
+        def use():
+            cap_bytes = dram_bytes()
+            return cap_bytes
+    """))
+    third = analyze_flow([pkg], select=FLOW_RULES, cache_path=cache)
+    assert (third.cache_hits, third.cache_misses) == (2, 1)
+    assert third.violations == []
+
+
+def test_cache_interface_change_reanalyses_everything(tmp_path):
+    pkg = _write_pkg(tmp_path)
+    cache = tmp_path / "cache.json"
+    analyze_flow([pkg], select=FLOW_RULES, cache_path=cache)
+
+    # Renaming a function changes the project interface: every cached
+    # summary may hold stale callee keys, so all files re-analyse.
+    (pkg / "a.py").write_text(dedent("""\
+        def dram_total_bytes():
+            total_bytes = 4096
+            return total_bytes
+    """))
+    rerun = analyze_flow([pkg], select=FLOW_RULES, cache_path=cache)
+    assert rerun.cache_hits == 0
+    assert rerun.cache_misses == 3
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+
+
+def _git(repo, *args):
+    subprocess.run(
+        ["git", "-c", "user.email=t@example.com", "-c", "user.name=t",
+         *args],
+        cwd=repo, check=True, capture_output=True,
+    )
+
+
+def test_cli_changed_limits_reporting(tmp_path, monkeypatch, capsys):
+    repo = tmp_path / "repo"
+    src = repo / "src"
+    src.mkdir(parents=True)
+    committed = src / "committed.py"
+    committed.write_text(
+        "import time\n\n\ndef t():\n    return time.time()\n"
+    )
+    _git(repo, "init", "-q")
+    _git(repo, "add", ".")
+    _git(repo, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(repo)
+
+    # Nothing changed: trivially clean, the committed finding is not
+    # re-litigated.
+    assert cli.main(["--changed", "src"]) == 0
+    capsys.readouterr()
+
+    fresh = src / "fresh.py"
+    fresh.write_text(
+        "import time\n\n\ndef u():\n    return time.time()\n"
+    )
+    code = cli.main(["--flow", "--no-cache", "--changed", "src"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "fresh.py" in out
+    assert "committed.py" not in out
+
+
+def test_cli_flow_writes_cache(tmp_path, capsys):
+    cache = tmp_path / "cache.json"
+    code = cli.main([
+        "--flow", "--cache", str(cache), "--quiet",
+        str(FLOWPKG / "convert.py"),
+    ])
+    capsys.readouterr()
+    assert code == 0  # convert.py alone is clean
+    assert cache.exists()
+
+
+# ----------------------------------------------------------------------
+# the repo's own tree must be clean under the flow pass
+
+
+def test_repo_tree_is_flow_clean():
+    result = analyze_flow(
+        [Path("src"), Path("benchmarks"), Path("examples")]
+    )
+    assert [v.format_text() for v in result.violations] == []
+
+
+def test_cli_flow_on_repo_tree_exits_zero(tmp_path, capsys):
+    code = cli.main([
+        "--flow", "--cache", str(tmp_path / "cache.json"), "--quiet",
+        "src", "benchmarks", "examples",
+    ])
+    capsys.readouterr()
+    assert code == 0
