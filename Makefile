@@ -1,13 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-tables examples docs lint all
+.PHONY: install test chaos bench bench-tables examples docs lint all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# The CI seed sweep: deterministic fault storms under full invariant
+# checking (see docs/RESILIENCE.md). Seeds mirror
+# tests/test_faults_chaos.py::CI_SEEDS.
+chaos:
+	TMO_CHECK_INVARIANTS=1 $(PYTHON) -m repro chaos --seeds 1 2 3 4 5
 
 # ruff and mypy run only when installed (they are optional, see
 # [project.optional-dependencies].lint); repro.lint always runs and

@@ -19,6 +19,24 @@ class IoKind(enum.Enum):
     WRITE = "write"
 
 
+class BackendFaultError(RuntimeError):
+    """A transient backend/device fault (injected or modelled).
+
+    Consumers must treat these as retryable: the page involved is
+    *not* lost, the operation simply did not happen. The memory
+    manager maps load faults to refault-with-retry and store faults
+    to "keep the page resident" (see :mod:`repro.faults`).
+    """
+
+
+class BackendIOError(BackendFaultError):
+    """One operation failed (media error, command timeout)."""
+
+
+class BackendUnavailableError(BackendFaultError):
+    """The device is temporarily gone (link drop, controller reset)."""
+
+
 @dataclass
 class DeviceStats:
     """Aggregate operation counters for one backend."""

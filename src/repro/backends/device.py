@@ -13,10 +13,52 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.backends.base import IoKind
+from repro.backends.base import (
+    BackendIOError,
+    BackendUnavailableError,
+    IoKind,
+)
 
 #: Utilisation at which latency inflation is clamped.
 _RHO_CAP = 0.95
+
+
+@dataclass
+class DeviceFaultState:
+    """The public fault-injection seam of a device or backend.
+
+    A :class:`~repro.faults.injector.FaultInjector` (or a test) mutates
+    these fields to model degraded hardware; the device consults them on
+    every operation. All fields at their defaults means a healthy
+    device, and the operation path then consumes no extra randomness —
+    so fault-free runs are bit-identical with or without an injector
+    attached.
+
+    Attributes:
+        latency_multiplier: scales every sampled latency (brownout).
+        io_error_rate: per-operation probability of a
+            :class:`~repro.backends.base.BackendIOError` (0 disables).
+        available: when False every operation raises
+            :class:`~repro.backends.base.BackendUnavailableError`.
+    """
+
+    latency_multiplier: float = 1.0
+    io_error_rate: float = 0.0
+    available: bool = True
+
+    def clear(self) -> None:
+        """Reset to the healthy-device defaults."""
+        self.latency_multiplier = 1.0
+        self.io_error_rate = 0.0
+        self.available = True
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            self.latency_multiplier == 1.0
+            and self.io_error_rate == 0.0
+            and self.available
+        )
 
 
 @dataclass(frozen=True)
@@ -54,6 +96,8 @@ class QueuedDevice:
         self._write_rate = 0.0
         self._pending_reads = 0.0  # ops issued since last tick
         self._pending_writes = 0.0
+        #: Fault-injection seam; healthy by default.
+        self.faults = DeviceFaultState()
 
     # ------------------------------------------------------------------
 
@@ -92,6 +136,18 @@ class QueuedDevice:
                 for (the simulator samples accesses; rates must reflect
                 the true operation count).
         """
+        # Fault checks come first: a failed operation never reaches the
+        # queue, so accounting is only mutated by successful ops.
+        if not self.faults.available:
+            raise BackendUnavailableError(
+                f"{self.spec.name}: device unavailable (injected outage)"
+            )
+        if self.faults.io_error_rate > 0.0 and (
+            float(self._rng.random()) < self.faults.io_error_rate
+        ):
+            raise BackendIOError(
+                f"{self.spec.name}: {kind.value} failed (injected IO error)"
+            )
         if kind is IoKind.READ:
             self._pending_reads += weight
         else:
@@ -101,14 +157,18 @@ class QueuedDevice:
         sample_us = median_us * float(
             self._rng.lognormal(mean=0.0, sigma=self.spec.latency_sigma)
         )
-        return sample_us * 1e-6
+        return sample_us * self.faults.latency_multiplier * 1e-6
 
     def expected_latency(self, kind: IoKind, percentile: float = 50.0) -> float:
         """Analytic latency at ``percentile`` under current utilisation (s)."""
         from math import exp
 
         inflation = 1.0 / (1.0 - self.utilization)
-        median_us = self._base_latency_us(kind) * inflation
+        median_us = (
+            self._base_latency_us(kind)
+            * inflation
+            * self.faults.latency_multiplier
+        )
         # Lognormal quantile: median * exp(sigma * z_q).
         z = _norm_ppf(percentile / 100.0)
         return median_us * exp(self.spec.latency_sigma * z) * 1e-6

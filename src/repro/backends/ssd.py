@@ -131,6 +131,18 @@ class SsdSwapBackend(OffloadBackend):
         budget = self.spec.endurance_pbw * 1e15
         return self.endurance_bytes_written / budget
 
+    def inject_wear(self, nbytes: int) -> None:
+        """Consume ``nbytes`` of the endurance budget without a write.
+
+        The public premature-wear seam: a fault plan can age the device
+        (e.g. model a swap partition inherited from a worn fleet host)
+        and Senpai's endurance modulation reacts exactly as it would to
+        real writes.
+        """
+        if nbytes < 0:
+            raise ValueError(f"wear bytes must be >= 0, got {nbytes}")
+        self.endurance_bytes_written += nbytes
+
     def store(
         self,
         nbytes: int,
@@ -143,9 +155,12 @@ class SsdSwapBackend(OffloadBackend):
             raise SwapFullError(
                 f"{self.name}: swap full ({self._stored}/{self.capacity_bytes})"
             )
+        # The device op may raise a BackendFaultError (injected fault);
+        # issuing before any accounting keeps a failed store side-effect
+        # free, so callers can retry or fall back safely.
+        latency = self.device.issue(IoKind.WRITE, weight=max(1.0, nbytes / 4096))
         self._stored += nbytes
         self.endurance_bytes_written += nbytes
-        latency = self.device.issue(IoKind.WRITE, weight=max(1.0, nbytes / 4096))
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
         self.stats.write_stall_seconds += latency

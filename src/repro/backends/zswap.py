@@ -15,12 +15,17 @@ from typing import Dict
 
 import numpy as np
 
-from repro.backends.base import OffloadBackend
+from repro.backends.base import (
+    BackendIOError,
+    BackendUnavailableError,
+    OffloadBackend,
+)
 from repro.backends.compression import (
     COMPRESSION_ALGORITHMS,
     CompressionAlgorithm,
     compressed_size,
 )
+from repro.backends.device import DeviceFaultState
 
 
 @dataclass(frozen=True)
@@ -104,6 +109,22 @@ class ZswapBackend(OffloadBackend):
         self._logical_bytes = 0
         self.compress_cpu_seconds = 0.0
         self.decompress_cpu_seconds = 0.0
+        #: Fault-injection seam (allocator failures, slow compression
+        #: under CPU contention, pool corruption windows); healthy by
+        #: default, in which case no extra randomness is consumed.
+        self.faults = DeviceFaultState()
+
+    def _check_faults(self, op: str) -> None:
+        if not self.faults.available:
+            raise BackendUnavailableError(
+                f"{self.name}: pool unavailable (injected outage)"
+            )
+        if self.faults.io_error_rate > 0.0 and (
+            float(self._rng.random()) < self.faults.io_error_rate
+        ):
+            raise BackendIOError(
+                f"{self.name}: {op} failed (injected fault)"
+            )
 
     @property
     def blocks_on_io(self) -> bool:
@@ -145,10 +166,14 @@ class ZswapBackend(OffloadBackend):
                 f"{self.name}: pool full "
                 f"({self._pool_bytes}/{self.max_pool_bytes})"
             )
+        self._check_faults("store")
         self._pool_bytes += footprint
         self._logical_bytes += nbytes
         pages = max(1.0, nbytes / 4096)
-        compress_s = self.algorithm.compress_us_per_4k * pages * 1e-6
+        compress_s = (
+            self.algorithm.compress_us_per_4k * pages * 1e-6
+            * self.faults.latency_multiplier
+        )
         self.compress_cpu_seconds += compress_s
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
@@ -168,6 +193,7 @@ class ZswapBackend(OffloadBackend):
         its decompression time (~40 us at p90, per the paper), so the
         stall scales with the simulated page's size like the SSD path.
         """
+        self._check_faults("load")
         pages = max(1.0, nbytes / 4096)
         base_us = (
             self._FAULT_PATH_US
@@ -175,7 +201,7 @@ class ZswapBackend(OffloadBackend):
         ) * pages
         latency = base_us * 1e-6 * float(
             self._rng.lognormal(mean=0.0, sigma=0.35)
-        )
+        ) * self.faults.latency_multiplier
         self.decompress_cpu_seconds += latency
         self.stats.reads += 1
         self.stats.bytes_read += nbytes

@@ -7,6 +7,8 @@ Commands:
 * ``list-ssds`` — the Figure 5 device catalog.
 * ``run-host`` — simulate one host under Senpai and report savings.
 * ``cost-table`` — the Figure 1 hardware cost trends.
+* ``chaos`` — seeded fault-injection runs under invariant checking
+  (see docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
@@ -178,6 +180,31 @@ def _cmd_run_ab(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults.chaos import ChaosConfig, format_report, run_chaos
+
+    seeds = args.seeds if args.seeds else [args.seed]
+    failures = 0
+    for seed in seeds:
+        config = ChaosConfig(
+            seed=seed,
+            duration_s=args.duration,
+            ram_gb=args.ram_gb,
+            ncpu=args.ncpu,
+            extra_events=args.extra_events,
+        )
+        report = run_chaos(config)
+        print(format_report(report, config))
+        if not report.passed(config):
+            failures += 1
+    if failures:
+        print(f"{failures}/{len(seeds)} chaos runs FAILED",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(seeds)} chaos runs passed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -222,6 +249,22 @@ def build_parser() -> argparse.ArgumentParser:
     ab.add_argument("--page-mb", type=int, default=1)
     ab.add_argument("--size-scale", type=float, default=0.05)
     ab.add_argument("--seed", type=int, default=1234)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seeded fault-injection scenarios under invariants",
+    )
+    chaos.add_argument("--seed", type=int, default=1,
+                       help="seed for a single run (ignored with --seeds)")
+    chaos.add_argument("--seeds", type=int, nargs="+", default=None,
+                       help="sweep several seeds; nonzero exit on any FAIL")
+    chaos.add_argument("--duration", type=float, default=900.0,
+                       help="simulated seconds per run (default 900)")
+    chaos.add_argument("--ram-gb", type=float, default=1.0)
+    chaos.add_argument("--ncpu", type=int, default=8)
+    chaos.add_argument("--extra-events", type=int, default=6,
+                       help="random fault windows beyond the guaranteed "
+                            "breaker storm")
     return parser
 
 
@@ -233,6 +276,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cost-table": _cmd_cost_table,
         "run-host": _cmd_run_host,
         "run-ab": _cmd_run_ab,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

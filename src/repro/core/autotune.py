@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.core.policy import reclaim_amount
 from repro.core.senpai import Senpai, SenpaiConfig
 
 
@@ -95,42 +94,16 @@ class AutoTuneSenpai(Senpai):
             state.calm_periods = 0
         return state.ratio
 
-    def _reclaim_period(self, host, now: float) -> None:
-        file_only = self.config.file_only_mode
-        allowance = 1.0
-        backend = host.swap_backend
-        if backend is not None and self._swap_exhausted(backend):
-            file_only = True
-        if self.regulator is not None and not file_only:
-            if backend is not None and backend.blocks_on_io:
-                allowance = self.regulator.allowance()
-                file_only = self.regulator.file_only()
+    def _pressure_and_ratio(self, host, cgroup: str, elapsed_s: float):
+        """Untiered pressure plus the AIMD-adapted ratio.
 
-        for cgroup in self._targets(host):
-            pressure = self.observed_pressure(
-                host, cgroup, self.config.interval_s
-            )
-            ratio = self._adapt(cgroup, pressure)
-            current = host.mm.cgroup(cgroup).current_bytes()
-            target = reclaim_amount(
-                current_mem=current,
-                psi_some=pressure,
-                psi_threshold=1.0,
-                reclaim_ratio=ratio,
-                max_step_frac=self.config.max_step_frac,
-            )
-            if not file_only and allowance < 1.0:
-                target = int(target * allowance)
-            if target <= 0:
-                host.metrics.record(f"{cgroup}/senpai_reclaim", now, 0.0)
-                continue
-            outcome = host.mm.memory_reclaim(
-                cgroup, target, now, file_only=file_only
-            )
-            self.total_requested += target
-            self.total_reclaimed += outcome.reclaimed_bytes
-            host.metrics.record(
-                f"{cgroup}/senpai_reclaim", now, outcome.reclaimed_bytes
-            )
-            host.metrics.record(f"{cgroup}/senpai_pressure", now, pressure)
-            host.metrics.record(f"{cgroup}/senpai_ratio", now, ratio)
+        Overrides the base hook, so the tuner inherits the hardened
+        period machinery (actual-elapsed normalisation, staleness
+        skips, circuit breaker, per-container error backoff) for free.
+        """
+        pressure = self.observed_pressure(host, cgroup, elapsed_s)
+        return pressure, self._adapt(cgroup, pressure)
+
+    def _record_extra(self, host, cgroup: str, now: float,
+                      ratio: float) -> None:
+        host.metrics.record(f"{cgroup}/senpai_ratio", now, ratio)

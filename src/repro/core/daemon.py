@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.policy import reclaim_amount
+from repro.kernel.controlfs import ControlFileError
 
 _TOTAL_RE = re.compile(r"^some .*total=(\d+)$", re.MULTILINE)
 
@@ -49,10 +50,31 @@ class SenpaiDaemonConfig:
     reclaim_ratio: float = 0.0005
     max_step_frac: float = 0.01
     cgroups: Tuple[str, ...] = ()
+    #: Base/backstop of the per-cgroup exponential backoff after a
+    #: failed read or write (the daemon's crash-loop protection).
+    error_backoff_s: float = 6.0
+    error_backoff_max_s: float = 120.0
+
+
+@dataclass
+class _DaemonCgroupState:
+    """Per-cgroup bookkeeping between daemon polls."""
+
+    last_total_us: int = 0
+    last_poll_at_s: Optional[float] = None
+    error_streak: int = 0
+    skip_until_s: float = 0.0
 
 
 class SenpaiDaemon:
-    """File-protocol senpai against the ControlFs surface."""
+    """File-protocol senpai against the ControlFs surface.
+
+    Hardened like its production counterpart must be: a malformed or
+    unreadable pressure file is skipped and counted (``skipped_reads``)
+    rather than crashing the daemon, failed ``memory.reclaim`` writes
+    are counted (``failed_writes``), and a cgroup that keeps erroring is
+    backed off exponentially instead of being hammered every period.
+    """
 
     def __init__(self, config: SenpaiDaemonConfig) -> None:
         if not config.cgroups:
@@ -60,37 +82,86 @@ class SenpaiDaemon:
                 "SenpaiDaemon needs explicit cgroup paths to manage"
             )
         self.config = config
-        self._last_total_us: Dict[str, int] = {}
+        self._states: Dict[str, _DaemonCgroupState] = {}
         self._next_poll: Optional[float] = None
+        #: Pressure/current reads dropped as unreadable or malformed.
+        self.skipped_reads = 0
+        #: memory.reclaim writes the control surface rejected.
+        self.failed_writes = 0
+
+    def _state(self, cgroup: str) -> _DaemonCgroupState:
+        return self._states.setdefault(cgroup, _DaemonCgroupState())
+
+    def _back_off(self, state: _DaemonCgroupState, now: float) -> None:
+        state.error_streak += 1
+        backoff_s = min(
+            self.config.error_backoff_max_s,
+            self.config.error_backoff_s * (2.0 ** (state.error_streak - 1)),
+        )
+        state.skip_until_s = now + backoff_s
 
     def poll(self, host, now: float) -> None:
         if self._next_poll is None:
             self._next_poll = now + self.config.interval_s
             for cgroup in self.config.cgroups:
-                text = host.controlfs.read(
-                    f"{cgroup}/memory.pressure", now
-                )
-                self._last_total_us[cgroup] = parse_some_total_us(text)
+                state = self._state(cgroup)
+                try:
+                    text = host.controlfs.read(
+                        f"{cgroup}/memory.pressure", now
+                    )
+                    state.last_total_us = parse_some_total_us(text)
+                    state.last_poll_at_s = now
+                except (ControlFileError, ValueError):
+                    self.skipped_reads += 1
             return
         if now + 1e-9 < self._next_poll:
             return
         self._next_poll = now + self.config.interval_s
 
         for cgroup in self.config.cgroups:
-            fs = host.controlfs
+            self._poll_one(host, cgroup, now)
+
+    def _poll_one(self, host, cgroup: str, now: float) -> None:
+        state = self._state(cgroup)
+        if now < state.skip_until_s:
+            return
+        fs = host.controlfs
+        try:
             text = fs.read(f"{cgroup}/memory.pressure", now)
             total_us = parse_some_total_us(text)
-            delta_us = total_us - self._last_total_us.get(cgroup, 0)
-            self._last_total_us[cgroup] = total_us
-            pressure = (delta_us / 1e6) / self.config.interval_s
-
             current = int(fs.read(f"{cgroup}/memory.current", now))
-            step = reclaim_amount(
-                current_mem=current,
-                psi_some=pressure,
-                psi_threshold=self.config.psi_threshold,
-                reclaim_ratio=self.config.reclaim_ratio,
-                max_step_frac=self.config.max_step_frac,
-            )
-            if step > 0:
+        except (ControlFileError, ValueError):
+            # Unreadable cgroup or garbage pressure text: skip the
+            # period and back off; never act on a partial sample.
+            self.skipped_reads += 1
+            self._back_off(state, now)
+            return
+        delta_us = total_us - state.last_total_us
+        # Divide by the real time between successful samples, not the
+        # nominal interval — backoff and skipped periods stretch it.
+        elapsed_s = (
+            now - state.last_poll_at_s
+            if state.last_poll_at_s is not None
+            else self.config.interval_s
+        )
+        elapsed_s = max(elapsed_s, 1e-9)
+        state.last_total_us = total_us
+        state.last_poll_at_s = now
+        pressure = (delta_us / 1e6) / elapsed_s
+
+        step = reclaim_amount(
+            current_mem=current,
+            psi_some=pressure,
+            psi_threshold=self.config.psi_threshold,
+            reclaim_ratio=self.config.reclaim_ratio,
+            max_step_frac=self.config.max_step_frac,
+        )
+        if step > 0:
+            try:
                 fs.write(f"{cgroup}/memory.reclaim", str(step), now)
+            except ControlFileError:
+                self.failed_writes += 1
+                self._back_off(state, now)
+                return
+        state.error_streak = 0
+        state.skip_until_s = 0.0

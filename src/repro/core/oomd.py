@@ -55,14 +55,14 @@ class Oomd:
         self._next_poll: Optional[float] = None
         #: (time, cgroup) pairs for every kill performed.
         self.kills: List[Tuple[float, str]] = []
+        #: Kills that raced with the container dying on its own.
+        self.lost_races = 0
 
     def _targets(self, host) -> List[str]:
+        hosted = [h.cgroup_name for h in host.hosted()]
         if self.config.cgroups is not None:
-            return [
-                name for name in self.config.cgroups
-                if name in host._hosted
-            ]
-        return [h.cgroup_name for h in host.hosted()]
+            return [name for name in self.config.cgroups if name in hosted]
+        return hosted
 
     def poll(self, host, now: float) -> None:
         if self._next_poll is not None and now + 1e-9 < self._next_poll:
@@ -70,16 +70,39 @@ class Oomd:
         self._next_poll = now + self.config.interval_s
 
         for cgroup in self._targets(host):
-            state = self._states.setdefault(cgroup, _WatchState())
+            self._watch_one(host, cgroup, now)
+
+    def _watch_one(self, host, cgroup: str, now: float) -> None:
+        state = self._states.setdefault(cgroup, _WatchState())
+        try:
             sample = host.psi.group(cgroup).sample(
                 self.config.resource, now
             )
-            if sample.full_avg10 >= self.config.full_threshold:
-                if state.over_since is None:
-                    state.over_since = now
-                elif now - state.over_since >= self.config.sustain_s:
-                    host.kill_workload(cgroup)
-                    self.kills.append((now, cgroup))
-                    self._states.pop(cgroup, None)
-            else:
-                state.over_since = None
+        except KeyError:
+            # The cgroup's pressure domain vanished between target
+            # selection and sampling (container torn down mid-poll):
+            # drop the watch rather than crash the killer.
+            self._states.pop(cgroup, None)
+            return
+        if sample.full_avg10 >= self.config.full_threshold:
+            if state.over_since is None:
+                state.over_since = now
+            elif now - state.over_since >= self.config.sustain_s:
+                self._kill(host, cgroup, now)
+        else:
+            state.over_since = None
+
+    def _kill(self, host, cgroup: str, now: float) -> None:
+        """Kill a container, tolerating it having died on its own.
+
+        Between the sustain decision and the kill the workload may have
+        exited (restart, another controller's kill). A lost race is
+        counted, never double-killed and never fatal.
+        """
+        try:
+            host.kill_workload(cgroup)
+        except KeyError:
+            self.lost_races += 1
+        else:
+            self.kills.append((now, cgroup))
+        self._states.pop(cgroup, None)

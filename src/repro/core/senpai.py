@@ -78,6 +78,21 @@ class SenpaiConfig:
     cgroups: Optional[Tuple[str, ...]] = None
     #: Optional per-container SLO tiers: ``(cgroup_name, tier)`` pairs.
     slo_tiers: Tuple[Tuple[str, SloTier], ...] = ()
+    #: Skip a reclaim period when the served PSI telemetry is older
+    #: than this (a frozen reader would otherwise report zero pressure
+    #: deltas and drive maximal reclaim into a loaded host).
+    stale_after_s: float = 30.0
+    #: Consecutive faulty polling periods (majority of swap-backend
+    #: operations failing) before the circuit breaker opens and anon
+    #: reclaim stops.
+    breaker_trip_polls: int = 3
+    #: How long the breaker stays open before a half-open probe period
+    #: re-tries anon reclaim against the backend.
+    breaker_probe_s: float = 30.0
+    #: Base/backstop of the per-container exponential backoff applied
+    #: after a control-surface error (missing cgroup, failed write).
+    error_backoff_s: float = 6.0
+    error_backoff_max_s: float = 120.0
 
     def tier_for(self, cgroup: str) -> SloTier:
         for name, tier in self.slo_tiers:
@@ -112,6 +127,10 @@ class _CgroupState:
     last_mem_total: float = 0.0
     last_io_total: float = 0.0
     seen: bool = False
+    #: Consecutive control-surface errors against this container.
+    error_streak: int = 0
+    #: Do not touch this container again before this virtual time.
+    skip_until_s: float = 0.0
 
 
 class Senpai:
@@ -131,6 +150,23 @@ class Senpai:
         self.total_requested = 0
         #: Total bytes the kernel actually reclaimed for Senpai.
         self.total_reclaimed = 0
+        #: When the last reclaim period ran (for actual-elapsed PSI
+        #: normalisation, not the nominal interval).
+        self._last_period_at: Optional[float] = None
+        #: Swap-backend circuit breaker: ``closed`` (healthy),
+        #: ``open`` (anon reclaim suspended, file-only fallback) or
+        #: ``half_open`` (probing). See docs/RESILIENCE.md.
+        self.breaker_state = "closed"
+        self.breaker_open_count = 0
+        self.breaker_reclose_count = 0
+        self._breaker_faulty_streak = 0
+        self._breaker_opened_at_s: Optional[float] = None
+        self._last_swap_ops = 0
+        self._last_swap_faults = 0
+        #: Periods skipped because telemetry was stale / a container
+        #: errored (observability counters for tests and reports).
+        self.stale_skips = 0
+        self.error_skips = 0
 
     # ------------------------------------------------------------------
 
@@ -139,13 +175,16 @@ class Senpai:
             return list(self.config.cgroups)
         return [h.cgroup_name for h in host.hosted()]
 
-    def observed_pressure(self, host, cgroup: str, interval_s: float) -> float:
-        """Normalised pressure for one container over the last interval.
+    def observed_pressure(self, host, cgroup: str, elapsed_s: float) -> float:
+        """Normalised pressure for one container over the last period.
 
         Diffs the ``some`` stall totals (like the open-source senpai
         does, rather than using the kernel's averaged windows), divides
-        by the elapsed interval, and normalises each resource by its own
-        threshold; the binding constraint (max) drives back-off.
+        by the *actual* elapsed time since the last poll — not the
+        nominal interval, which under-/over-states pressure whenever a
+        period is stretched by stale-telemetry skips or scheduling
+        jitter — and normalises each resource by its own threshold; the
+        binding constraint (max) drives back-off.
         """
         state = self._states.setdefault(cgroup, _CgroupState())
         mem_total = host.psi.some_total(cgroup, Resource.MEMORY)
@@ -155,8 +194,9 @@ class Senpai:
             state.last_io_total = io_total
             state.seen = True
             return 0.0
-        mem_pressure = (mem_total - state.last_mem_total) / interval_s
-        io_pressure = (io_total - state.last_io_total) / interval_s
+        elapsed_s = max(elapsed_s, 1e-9)
+        mem_pressure = (mem_total - state.last_mem_total) / elapsed_s
+        io_pressure = (io_total - state.last_io_total) / elapsed_s
         state.last_mem_total = mem_total
         state.last_io_total = io_total
         return max(
@@ -179,13 +219,25 @@ class Senpai:
         if self._next_poll is None:
             # First observation period starts now; no reclaim yet.
             self._next_poll = now + self.config.interval_s
+            self._last_period_at = now
+            self._last_swap_ops = host.mm.swap_op_count
+            self._last_swap_faults = host.mm.swap_fault_count
             for cgroup in self._targets(host):
-                self.observed_pressure(host, cgroup, self.config.interval_s)
+                self._prime_cgroup(host, cgroup)
             return
         if now + 1e-9 < self._next_poll:
             return
         self._next_poll = now + self.config.interval_s
         self._reclaim_period(host, now)
+
+    def _prime_cgroup(self, host, cgroup: str) -> None:
+        """Record a container's baseline totals, tolerating its absence."""
+        try:
+            self.observed_pressure(host, cgroup, self.config.interval_s)
+        except Exception:
+            # Named container does not exist (yet, or any more): treat
+            # it like a control-surface error and retry on schedule.
+            self.error_skips += 1
 
     def _swap_exhausted(self, backend) -> bool:
         """Section 3.3's extra modulation: back off anon reclaim when
@@ -200,10 +252,103 @@ class Senpai:
             return True
         return False
 
+    # ------------------------------------------------------------------
+    # staleness detection and the swap-backend circuit breaker
+
+    def _telemetry_stale(self, host, now: float) -> bool:
+        """Whether the served PSI telemetry is too old to act on."""
+        age_fn = getattr(host.psi, "telemetry_age_s", None)
+        if age_fn is None:
+            return False
+        return age_fn(now) > self.config.stale_after_s
+
+    _DEGRADED_LEVELS = {"closed": 0.0, "half_open": 0.5, "open": 1.0}
+
+    def _set_breaker(self, host, now: float, state: str) -> None:
+        if state == self.breaker_state:
+            return
+        self.breaker_state = state
+        host.metrics.record(
+            "senpai/degraded", now, self._DEGRADED_LEVELS[state]
+        )
+
+    def _update_breaker(self, host, now: float) -> None:
+        """Advance the breaker from this period's swap fault/op deltas.
+
+        A period is *faulty* when swap operations ran and at least half
+        of them failed with a backend fault — a failing device, not the
+        odd media error. ``breaker_trip_polls`` consecutive faulty
+        periods open the breaker (anon reclaim suspended); after
+        ``breaker_probe_s`` a half-open period probes the backend, and
+        one clean probe with real traffic re-closes it.
+        """
+        mm = host.mm
+        delta_ops = mm.swap_op_count - self._last_swap_ops
+        delta_faults = mm.swap_fault_count - self._last_swap_faults
+        self._last_swap_ops = mm.swap_op_count
+        self._last_swap_faults = mm.swap_fault_count
+        faulty = delta_faults > 0 and delta_faults * 2 >= delta_ops
+
+        if self.breaker_state == "closed":
+            if faulty:
+                self._breaker_faulty_streak += 1
+                if self._breaker_faulty_streak >= self.config.breaker_trip_polls:
+                    self.breaker_open_count += 1
+                    self._breaker_opened_at_s = now
+                    self._set_breaker(host, now, "open")
+            else:
+                self._breaker_faulty_streak = 0
+        elif self.breaker_state == "open":
+            if now - self._breaker_opened_at_s >= self.config.breaker_probe_s:
+                self._set_breaker(host, now, "half_open")
+        else:  # half_open: judge the probe period that just ended
+            if faulty:
+                self._breaker_opened_at_s = now
+                self._set_breaker(host, now, "open")
+            elif delta_ops > 0:
+                self._breaker_faulty_streak = 0
+                self.breaker_reclose_count += 1
+                self._set_breaker(host, now, "closed")
+            # No swap traffic: the probe proved nothing; keep probing.
+
+    # ------------------------------------------------------------------
+
+    def _pressure_and_ratio(self, host, cgroup: str, elapsed_s: float):
+        """Per-container pressure and reclaim ratio for this period."""
+        tier = self.config.tier_for(cgroup)
+        pressure = self.observed_pressure(
+            host, cgroup, elapsed_s
+        ) / tier.pressure_scale
+        return pressure, self.config.reclaim_ratio * tier.ratio_scale
+
+    def _record_extra(self, host, cgroup: str, now: float,
+                      ratio: float) -> None:
+        """Subclass hook for additional per-container period metrics."""
+
     def _reclaim_period(self, host, now: float) -> None:
+        if self._telemetry_stale(host, now):
+            # Acting on a frozen reader would read zero pressure deltas
+            # and drive maximal reclaim into a possibly loaded host.
+            # Skip without consuming totals: after a thaw, the diffs
+            # cover the whole gap and divide by the true elapsed time.
+            self.stale_skips += 1
+            host.metrics.record("senpai/stale", now, 1.0)
+            return
+        elapsed_s = (
+            now - self._last_period_at
+            if self._last_period_at is not None
+            else self.config.interval_s
+        )
+        self._last_period_at = now
+        self._update_breaker(host, now)
+
         file_only = self.config.file_only_mode
         allowance = 1.0
         backend = host.swap_backend
+        if self.breaker_state == "open":
+            # Swap backend presumed down: fall back to file-only
+            # reclaim so no page is handed to a failing device.
+            file_only = True
         if backend is not None and self._swap_exhausted(backend):
             file_only = True
         if self.regulator is not None and not file_only:
@@ -212,31 +357,69 @@ class Senpai:
                 file_only = self.regulator.file_only()
 
         for cgroup in self._targets(host):
-            tier = self.config.tier_for(cgroup)
-            pressure = self.observed_pressure(
-                host, cgroup, self.config.interval_s
-            ) / tier.pressure_scale
+            self._reclaim_one(
+                host, now, cgroup, elapsed_s, file_only, allowance
+            )
+
+    def _reclaim_one(
+        self,
+        host,
+        now: float,
+        cgroup: str,
+        elapsed_s: float,
+        file_only: bool,
+        allowance: float,
+    ) -> None:
+        """Run one container's reclaim step, absorbing control errors.
+
+        Any failure on the control surface (the container died between
+        sampling and reclaim, a control file errored) is counted and
+        answered with per-container exponential backoff rather than a
+        controller crash.
+        """
+        state = self._states.setdefault(cgroup, _CgroupState())
+        if now < state.skip_until_s:
+            return
+        try:
+            pressure, ratio = self._pressure_and_ratio(
+                host, cgroup, elapsed_s
+            )
             current = host.mm.cgroup(cgroup).current_bytes()
             target = reclaim_amount(
                 current_mem=current,
                 psi_some=pressure,
                 psi_threshold=1.0,  # pressure is already normalised
-                reclaim_ratio=self.config.reclaim_ratio * tier.ratio_scale,
+                reclaim_ratio=ratio,
                 max_step_frac=self.config.max_step_frac,
             )
             if not file_only and allowance < 1.0:
                 target = int(target * allowance)
             if target <= 0:
                 host.metrics.record(f"{cgroup}/senpai_reclaim", now, 0.0)
-                continue
+                self._record_extra(host, cgroup, now, ratio)
+                state.error_streak = 0
+                return
             outcome = host.mm.memory_reclaim(
                 cgroup, target, now, file_only=file_only
             )
-            self.total_requested += target
-            self.total_reclaimed += outcome.reclaimed_bytes
-            host.metrics.record(
-                f"{cgroup}/senpai_reclaim", now, outcome.reclaimed_bytes
+        except Exception:
+            state.error_streak += 1
+            self.error_skips += 1
+            backoff_s = min(
+                self.config.error_backoff_max_s,
+                self.config.error_backoff_s
+                * (2.0 ** (state.error_streak - 1)),
             )
-            host.metrics.record(
-                f"{cgroup}/senpai_pressure", now, pressure
-            )
+            state.skip_until_s = now + backoff_s
+            host.metrics.record("senpai/errors", now, float(self.error_skips))
+            return
+        state.error_streak = 0
+        self.total_requested += target
+        self.total_reclaimed += outcome.reclaimed_bytes
+        host.metrics.record(
+            f"{cgroup}/senpai_reclaim", now, outcome.reclaimed_bytes
+        )
+        host.metrics.record(
+            f"{cgroup}/senpai_pressure", now, pressure
+        )
+        self._record_extra(host, cgroup, now, ratio)

@@ -1,0 +1,36 @@
+"""repro.faults: deterministic fault injection and the chaos harness.
+
+TMO's value proposition is not just savings in the happy path — the
+paper's deployment ran across millions of machines where devices
+brown out, telemetry readers hang and containers restart in storms.
+This package makes those conditions first-class and *reproducible*:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: a seed-derived,
+  bit-reproducible schedule of :class:`FaultEvent` windows.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: a host
+  controller that applies the plan through the simulator's public
+  fault seams (``DeviceFaultState``, ``ControlFsFaultState``, the PSI
+  telemetry freeze, the host workload-event hooks) and records every
+  injection as ``faults/*`` metrics.
+* :mod:`repro.faults.chaos` — the chaos harness: build a host, run a
+  seeded fault schedule under the invariant checker, and report
+  whether the system degraded gracefully (no crash, no accounting
+  corruption, breaker opens *and* re-closes, throughput recovers).
+
+See docs/RESILIENCE.md for the fault taxonomy and the controller
+hardening this package exercises.
+"""
+
+from repro.faults.chaos import ChaosConfig, ChaosReport, run_chaos
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "ChaosConfig",
+    "ChaosReport",
+    "run_chaos",
+]

@@ -1,0 +1,243 @@
+"""The chaos harness: seeded fault storms under full invariant checking.
+
+``run_chaos(ChaosConfig(seed=N))`` builds a small host (SSD-backed swap,
+hardened Senpai with an eager circuit breaker, oomd, the fault
+injector installed first), runs a seed-derived fault schedule with the
+:class:`~repro.sim.invariants.InvariantChecker` enabled on every tick,
+and returns a :class:`ChaosReport` stating whether the system degraded
+*gracefully*:
+
+* no unhandled exception escaped the run (invariant violations raise,
+  so accounting corruption fails this too);
+* every scheduled fault was injected and is visible in ``faults/*``;
+* the circuit breaker demonstrably opened and re-closed;
+* throughput in the quiet recovery tail is a bounded fraction of the
+  pre-fault baseline.
+
+The report also carries SHA-256 digests of the fault plan and of every
+recorded metric series: two runs with the same seed must produce
+byte-identical digests, which the pytest suite and CI assert.
+
+CLI: ``python -m repro chaos --seed N`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.oomd import Oomd, OomdConfig
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import RECOVERY_TAIL_FRAC, FaultPlan
+from repro.sim.host import Host, HostConfig
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+_MB = 1 << 20
+_GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos run's parameters. Everything derives from ``seed``."""
+
+    seed: int
+    duration_s: float = 900.0
+    ram_gb: float = 1.0
+    ncpu: int = 8
+    #: Footprint in 1 MiB pages; must overcommit ``ram_gb`` so the
+    #: swap path carries traffic for device faults to hit.
+    workload_pages: int = 1600
+    #: Extra random fault windows on top of the guaranteed breaker storm.
+    extra_events: int = 6
+    #: Floor on tail/head throughput for a graceful-degradation verdict.
+    min_rps_recovery: float = 0.5
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run."""
+
+    seed: int
+    duration_s: float
+    #: Exception that escaped the run loop, if any (repr), else None.
+    unhandled_error: Optional[str] = None
+    #: Faults injected per kind (from the injector's counters).
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: Scheduled events versus injected activations.
+    scheduled_events: int = 0
+    injected_events: int = 0
+    breaker_opened: bool = False
+    breaker_reclosed: bool = False
+    senpai_stale_skips: int = 0
+    senpai_error_skips: int = 0
+    swap_faults: int = 0
+    fs_faults: int = 0
+    oom_ticks: int = 0
+    rps_head: float = 0.0
+    rps_tail: float = 0.0
+    #: SHA-256 of the fault plan's canonical text.
+    plan_digest: str = ""
+    #: SHA-256 over every metric series (times and values).
+    series_digest: str = ""
+
+    @property
+    def rps_recovery(self) -> float:
+        """Tail throughput as a fraction of the pre-fault baseline."""
+        if self.rps_head <= 0.0:
+            return 0.0
+        return self.rps_tail / self.rps_head
+
+    def passed(self, config: ChaosConfig) -> bool:
+        """The graceful-degradation verdict for this run."""
+        return (
+            self.unhandled_error is None
+            and self.injected_events > 0
+            and self.breaker_opened
+            and self.breaker_reclosed
+            and self.rps_recovery >= config.min_rps_recovery
+        )
+
+    def failures(self, config: ChaosConfig) -> Tuple[str, ...]:
+        """Human-readable reasons the verdict failed (empty if passed)."""
+        reasons = []
+        if self.unhandled_error is not None:
+            reasons.append(f"unhandled error: {self.unhandled_error}")
+        if self.injected_events == 0:
+            reasons.append("no fault was injected")
+        if not self.breaker_opened:
+            reasons.append("circuit breaker never opened")
+        if not self.breaker_reclosed:
+            reasons.append("circuit breaker never re-closed")
+        if self.rps_recovery < config.min_rps_recovery:
+            reasons.append(
+                f"throughput recovered to {self.rps_recovery:.2f} "
+                f"< {config.min_rps_recovery:.2f} of baseline"
+            )
+        return tuple(reasons)
+
+
+def _chaos_profile(config: ChaosConfig) -> AppProfile:
+    """An anon-heavy profile that keeps the swap path busy, so device
+    faults actually hit traffic and the breaker sees real deltas."""
+    return AppProfile(
+        name="chaos-app",
+        size_gb=config.workload_pages * _MB / _GB,
+        anon_frac=0.7,
+        bands=HeatBands(0.25, 0.10, 0.10),
+        compress_ratio=3.0,
+        nthreads=2,
+        cpu_cores=1.0,
+    )
+
+
+def build_chaos_host(config: ChaosConfig) -> Tuple[Host, FaultInjector, Senpai]:
+    """Assemble the chaos host: injector first, then the controllers."""
+    host = Host(HostConfig(
+        ram_gb=config.ram_gb,
+        ncpu=config.ncpu,
+        page_size_bytes=1 * _MB,
+        seed=config.seed,
+        backend="ssd",
+        swap_gb=config.ram_gb,  # roomy swap: exhaustion is not the test
+        check_invariants=True,
+    ))
+    host.add_workload(Workload, profile=_chaos_profile(config), name="app")
+    plan = FaultPlan.generate(
+        config.seed, config.duration_s, cgroups=("app",),
+        extra_events=config.extra_events,
+    )
+    injector = host.add_controller(FaultInjector(plan))
+    senpai = host.add_controller(Senpai(SenpaiConfig(
+        reclaim_ratio=0.005,
+        max_step_frac=0.03,
+        write_limit_mb_s=None,
+        breaker_trip_polls=2,
+        breaker_probe_s=30.0,
+        stale_after_s=20.0,
+    )))
+    host.add_controller(Oomd(OomdConfig(
+        full_threshold=0.8, sustain_s=60.0,
+    )))
+    return host, injector, senpai
+
+
+def metrics_digest(metrics) -> str:
+    """SHA-256 over every series' name, times and values, in name order.
+
+    Bit-level: floats are packed as IEEE doubles, so two digests match
+    only when every sample of every series is byte-identical.
+    """
+    sha = hashlib.sha256()
+    for name in sorted(metrics.names()):
+        series = metrics.series(name)
+        sha.update(name.encode())
+        sha.update(struct.pack("<q", len(series)))
+        for t, v in zip(series.times, series.values):
+            sha.update(struct.pack("<dd", t, v))
+    return sha.hexdigest()
+
+
+def run_chaos(config: ChaosConfig) -> ChaosReport:
+    """Run one seeded chaos scenario; never raises for in-run failures."""
+    host, injector, senpai = build_chaos_host(config)
+    report = ChaosReport(seed=config.seed, duration_s=config.duration_s)
+    report.scheduled_events = len(injector.plan.events)
+    report.plan_digest = hashlib.sha256(
+        injector.plan.digest_text().encode()
+    ).hexdigest()
+    try:
+        host.run(config.duration_s)
+    except Exception as exc:
+        # The whole point of the harness: a crash (including an
+        # invariant violation) is a *finding*, reported, not raised.
+        report.unhandled_error = repr(exc)
+
+    report.fault_counts = dict(injector.injected)
+    report.injected_events = sum(injector.injected.values())
+    report.breaker_opened = senpai.breaker_open_count > 0
+    report.breaker_reclosed = senpai.breaker_reclose_count > 0
+    report.senpai_stale_skips = senpai.stale_skips
+    report.senpai_error_skips = senpai.error_skips
+    report.swap_faults = host.mm.swap_fault_count
+    report.fs_faults = host.mm.fs_fault_count
+
+    rps = host.metrics.series("app/rps")
+    head = rps.window(0.0, 0.15 * config.duration_s)
+    tail = rps.window(
+        RECOVERY_TAIL_FRAC * config.duration_s, config.duration_s + 1.0
+    )
+    report.rps_head = head.mean() if len(head) else 0.0
+    report.rps_tail = tail.mean() if len(tail) else 0.0
+    oom = host.metrics.series("app/oom")
+    report.oom_ticks = int(sum(oom.values))
+    report.series_digest = metrics_digest(host.metrics)
+    return report
+
+
+def format_report(report: ChaosReport, config: ChaosConfig) -> str:
+    """Render one report for the CLI."""
+    status = "PASS" if report.passed(config) else "FAIL"
+    lines = [
+        f"chaos seed={report.seed}: {status}",
+        f"  plan: {report.scheduled_events} events, "
+        f"digest {report.plan_digest[:16]}",
+        f"  injected: {report.injected_events} "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(report.fault_counts.items())) or 'none'})",
+        f"  breaker: opened={report.breaker_opened} "
+        f"reclosed={report.breaker_reclosed}",
+        f"  senpai: stale_skips={report.senpai_stale_skips} "
+        f"error_skips={report.senpai_error_skips}",
+        f"  backend faults: swap={report.swap_faults} fs={report.fs_faults}",
+        f"  rps: head={report.rps_head:.1f} tail={report.rps_tail:.1f} "
+        f"recovery={report.rps_recovery:.2f}",
+        f"  oom ticks: {report.oom_ticks}",
+        f"  series digest: {report.series_digest[:16]}",
+    ]
+    for reason in report.failures(config):
+        lines.append(f"  !! {reason}")
+    return "\n".join(lines)

@@ -21,6 +21,7 @@ Supported files per cgroup:
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.kernel.mm import MemoryManager
@@ -53,6 +54,51 @@ class ControlFileError(OSError):
     """Raised for unknown paths, bad values, or read/write mismatches."""
 
 
+@dataclass
+class ControlFsFaultState:
+    """Telemetry-fault seam of the control-file surface.
+
+    Mutated by a :class:`~repro.faults.injector.FaultInjector` (or a
+    test) to model the failure modes a file-reading daemon actually
+    sees in production: stuck pressure files, corrupted reads, and
+    EIO/EBUSY on the control surface itself.
+
+    Attributes:
+        frozen_pressure: pressure-file reads return the last text each
+            file served before the freeze (counters appear stuck).
+        malformed_pressure: pressure-file reads return garbage that no
+            parser should accept.
+        error_on_read: every read raises :class:`ControlFileError`.
+        error_on_write: every write raises :class:`ControlFileError`.
+    """
+
+    frozen_pressure: bool = False
+    malformed_pressure: bool = False
+    error_on_read: bool = False
+    error_on_write: bool = False
+
+    def clear(self) -> None:
+        """Reset to the healthy defaults."""
+        self.frozen_pressure = False
+        self.malformed_pressure = False
+        self.error_on_read = False
+        self.error_on_write = False
+
+    @property
+    def healthy(self) -> bool:
+        return not (
+            self.frozen_pressure
+            or self.malformed_pressure
+            or self.error_on_read
+            or self.error_on_write
+        )
+
+
+#: What a malformed pressure file serves: a truncated line with a bad
+#: field, enough to defeat any reasonable parser.
+_MALFORMED_PRESSURE_TEXT = "some avg10=NaN avg60= avg300=0.00 total=garbage"
+
+
 class ControlFs:
     """String-level access to the cgroup control surface."""
 
@@ -60,6 +106,10 @@ class ControlFs:
         self.mm = mm
         self.psi = psi
         self._triggers: Dict[Tuple[str, str], PsiTrigger] = {}
+        #: Telemetry-fault seam; healthy by default.
+        self.faults = ControlFsFaultState()
+        #: Last text served per pressure file, for the frozen mode.
+        self._pressure_cache: Dict[Tuple[str, str], str] = {}
 
     # ------------------------------------------------------------------
 
@@ -86,6 +136,10 @@ class ControlFs:
     def read(self, path: str, now: float) -> str:
         """Read one control file; returns its text content."""
         cgroup_name, filename = self._split(path)
+        if self.faults.error_on_read:
+            raise ControlFileError(
+                f"read({path!r}): injected control-surface error"
+            )
         cgroup = self.mm.cgroup(cgroup_name)
 
         if filename == "memory.current":
@@ -115,10 +169,16 @@ class ControlFs:
             ]
             return "\n".join(lines)
         if filename in _PRESSURE_FILES:
-            group = self.psi.group(cgroup_name)
-            return format_pressure_file(
-                group, _PRESSURE_FILES[filename], now
+            if self.faults.malformed_pressure:
+                return _MALFORMED_PRESSURE_TEXT
+            key = (cgroup_name, filename)
+            if self.faults.frozen_pressure and key in self._pressure_cache:
+                return self._pressure_cache[key]
+            text = format_pressure_file(
+                self.psi.group(cgroup_name), _PRESSURE_FILES[filename], now
             )
+            self._pressure_cache[key] = text
+            return text
         raise ControlFileError(f"unknown control file {filename!r}")
 
     # ------------------------------------------------------------------
@@ -126,6 +186,10 @@ class ControlFs:
     def write(self, path: str, value: str, now: float) -> None:
         """Write one control file."""
         cgroup_name, filename = self._split(path)
+        if self.faults.error_on_write:
+            raise ControlFileError(
+                f"write({path!r}): injected control-surface error"
+            )
 
         if filename == "memory.max":
             limit = None if value.strip() == "max" else parse_bytes(value)

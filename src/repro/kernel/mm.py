@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.backends.base import OffloadBackend
+from repro.backends.base import BackendFaultError, OffloadBackend
 from repro.backends.filesystem import FilesystemBackend
 from repro.backends.nvm import FarMemoryFullError
 from repro.backends.ssd import SwapFullError
@@ -31,6 +31,12 @@ from repro.kernel.reclaim import (
 #: CPU cost of submitting one async swap-out write, in seconds.
 _SWAP_SUBMIT_COST_S = 5e-6
 
+#: Stall charged to a task whose fault could not be resolved because the
+#: backend errored: the kernel's retry path (wait, re-queue, re-issue)
+#: costs on the order of an IO timeout slice. The page is untouched and
+#: the next access retries.
+_FAULT_RETRY_STALL_S = 2e-3
+
 
 class OutOfMemoryError(RuntimeError):
     """Raised when a charge cannot be satisfied even after reclaim."""
@@ -43,7 +49,10 @@ class FaultResult:
     Attributes:
         page: the touched page.
         event: one of ``hit``, ``swapin``, ``zswapin``, ``refault``,
-            ``file_read`` — what the access turned into.
+            ``file_read``, ``swapin_error``, ``fileread_error`` — what
+            the access turned into. The ``*_error`` events mean a
+            backend fault interrupted resolution: the page's state is
+            unchanged and the next access retries.
         stall_seconds: total delay charged to the touching task.
         memstall: the delay counts toward memory pressure.
         iostall: the delay counts toward IO pressure.
@@ -95,6 +104,16 @@ class MemoryManager:
         self.reclaimer = Reclaimer(self, policy or TmoReclaimPolicy())
         #: CPU seconds consumed by proactive (controller-driven) reclaim.
         self.proactive_cpu_seconds = 0.0
+        #: Stall charged per backend-fault retry (tunable for tests).
+        self.retry_stall_s = _FAULT_RETRY_STALL_S
+        #: Swap-backend operation attempts and transient-fault failures.
+        #: Controllers (Senpai's circuit breaker) diff these between
+        #: polls to detect a failing offload backend.
+        self.swap_op_count = 0
+        self.swap_fault_count = 0
+        #: Same counters for the filesystem device.
+        self.fs_op_count = 0
+        self.fs_fault_count = 0
         #: kswapd watermarks: background reclaim starts when free memory
         #: drops under ``low`` and works back up to ``high``. Keeps the
         #: allocation path out of (blocking) direct reclaim for as long
@@ -330,10 +349,23 @@ class MemoryManager:
 
         if page.state is PageState.ZSWAPPED:
             stall = self._charge_with_reclaim(cgroup, now)
-            latency = self.swap_backend.load(
-                self.page_size_bytes, page.compressibility, now,
-                page_id=page.page_id,
-            )
+            self.swap_op_count += 1
+            try:
+                latency = self.swap_backend.load(
+                    self.page_size_bytes, page.compressibility, now,
+                    page_id=page.page_id,
+                )
+            except BackendFaultError:
+                # Refault-with-retry: the page stays ZSWAPPED and its
+                # pool bytes stay accounted — nothing was mutated — so
+                # the next access simply retries. The task eats a retry
+                # stall (a memory stall: resolution is in-DRAM).
+                self.swap_fault_count += 1
+                return FaultResult(
+                    page=page, event="swapin_error",
+                    stall_seconds=stall + self.retry_stall_s,
+                    memstall=True, iostall=False,
+                )
             self.swap_backend.free(
                 self.page_size_bytes, page.compressibility, page_id=page.page_id
             )
@@ -350,10 +382,23 @@ class MemoryManager:
 
         if page.state is PageState.SWAPPED:
             stall = self._charge_with_reclaim(cgroup, now)
-            latency = self.swap_backend.load(
-                self.page_size_bytes, page.compressibility, now,
-                page_id=page.page_id,
-            )
+            self.swap_op_count += 1
+            try:
+                latency = self.swap_backend.load(
+                    self.page_size_bytes, page.compressibility, now,
+                    page_id=page.page_id,
+                )
+            except BackendFaultError:
+                # Failed swap-in: the page is still safely on the swap
+                # device, so keep it SWAPPED and let the next access
+                # retry. Counts as memory+IO stall like the fault it
+                # failed to resolve.
+                self.swap_fault_count += 1
+                return FaultResult(
+                    page=page, event="swapin_error",
+                    stall_seconds=stall + self.retry_stall_s,
+                    memstall=True, iostall=True,
+                )
             self.swap_backend.free(
                 self.page_size_bytes, page.compressibility, page_id=page.page_id
             )
@@ -370,7 +415,20 @@ class MemoryManager:
 
         # EVICTED or ABSENT file page: read from the filesystem.
         stall = self._charge_with_reclaim(cgroup, now)
-        latency = self.fs.load(self.page_size_bytes, page.compressibility, now)
+        self.fs_op_count += 1
+        try:
+            latency = self.fs.load(
+                self.page_size_bytes, page.compressibility, now
+            )
+        except BackendFaultError:
+            # Failed read: page stays EVICTED/ABSENT (its backing copy
+            # is intact); the next access retries the read.
+            self.fs_fault_count += 1
+            return FaultResult(
+                page=page, event="fileread_error",
+                stall_seconds=stall + self.retry_stall_s,
+                memstall=False, iostall=True,
+            )
         distance = cgroup.shadow.reuse_distance(page.page_id)
         if distance is not None and distance >= 1:
             cgroup.record_reuse_distance(distance)
@@ -477,12 +535,19 @@ class MemoryManager:
             if used + self.page_size_bytes > cgroup.swap_max:
                 return None  # memory.swap.max reached: fall back to file
         age_s = max(0.0, now - page.last_access)
+        self.swap_op_count += 1
         try:
             cost = backend.store(
                 self.page_size_bytes, page.compressibility, now,
                 page_id=page.page_id, age_s=age_s,
             )
         except (SwapFullError, ZswapPoolFullError, FarMemoryFullError):
+            return None
+        except BackendFaultError:
+            # The store never happened (backends issue the device op
+            # before touching accounting), so the page simply stays
+            # resident; reclaim falls back to the file LRU this pass.
+            self.swap_fault_count += 1
             return None
         tier_of = getattr(backend, "tier_of", None)
         if tier_of is not None:

@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.backends.base import BackendFaultError
 from repro.kernel.page import Page, PageKind, PageState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -291,23 +292,33 @@ class Reclaimer:
     ) -> bool:
         """Evict an isolated page to its backend. Returns success.
 
-        On failure (offload backend full) the page is put back on its
-        LRU and the caller falls back to the other pool.
+        On failure (offload backend full, or a transient device fault
+        on swap-out / dirty writeback) the page is put back on its LRU
+        and the caller falls back to the other pool.
         """
         page_size_bytes = cgroup.page_size_bytes
         if page.kind is PageKind.FILE:
-            stamp = cgroup.shadow.record_eviction(page.page_id)
-            page.shadow_stamp = stamp
-            page.state = PageState.EVICTED
-            cgroup.vmstat.workingset_evict += 1
             if page.dirty:
-                latency = self.mm.fs.store(
-                    page_size_bytes, page.compressibility, now
-                )
+                # Write back *before* any eviction bookkeeping so a
+                # device fault leaves the page fully intact (dirty,
+                # resident, on its LRU) for a later pass to retry.
+                self.mm.fs_op_count += 1
+                try:
+                    latency = self.mm.fs.store(
+                        page_size_bytes, page.compressibility, now
+                    )
+                except BackendFaultError:
+                    self.mm.fs_fault_count += 1
+                    cgroup.lru[PageKind.FILE].insert_active(page)
+                    return False
                 cgroup.vmstat.pgwriteback += 1
                 page.dirty = False
                 if synchronous:
                     outcome.stall_seconds += latency
+            stamp = cgroup.shadow.record_eviction(page.page_id)
+            page.shadow_stamp = stamp
+            page.state = PageState.EVICTED
+            cgroup.vmstat.workingset_evict += 1
             cgroup.uncharge(PageKind.FILE, page_size_bytes)
             outcome.reclaimed_file_bytes += page_size_bytes
         else:

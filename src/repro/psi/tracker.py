@@ -46,6 +46,10 @@ class PsiSystem:
         self.system = PsiGroup("system", ncpu=ncpu, now=now)
         self._groups: Dict[str, PsiGroup] = {"system": self.system}
         self._tasks: Dict[str, PsiTask] = {}
+        #: When not None, the virtual time at which the *read side* of
+        #: the telemetry froze (see :meth:`freeze_telemetry`).
+        self._frozen_at_s: Optional[float] = None
+        self._frozen_totals: Dict[tuple, float] = {}
 
     def add_group(
         self, name: str, parent: Optional[str] = None, now: float = 0.0
@@ -107,5 +111,57 @@ class PsiSystem:
 
     def some_total(self, group_name: str, resource: Resource) -> float:
         """Cumulative ``some`` stall seconds for a domain — the counter
-        Senpai diffs between polling periods."""
+        Senpai diffs between polling periods.
+
+        While the telemetry is frozen (an injected fault; see
+        :meth:`freeze_telemetry`) this serves the value captured at
+        freeze time: the counter appears stuck, exactly like a hung
+        pressure-file reader in production.
+        """
+        if self._frozen_at_s is not None:
+            key = (group_name, resource)
+            if key in self._frozen_totals:
+                return self._frozen_totals[key]
         return self._groups[group_name].total(resource, "some")
+
+    # ------------------------------------------------------------------
+    # telemetry-fault seam
+
+    @property
+    def telemetry_frozen(self) -> bool:
+        return self._frozen_at_s is not None
+
+    def telemetry_age_s(self, now: float) -> float:
+        """Seconds since the served telemetry was last fresh.
+
+        0.0 while healthy; grows monotonically while frozen. Controllers
+        use this as their staleness signal instead of guessing from
+        unchanged counters (a genuinely idle host also has unchanged
+        counters).
+        """
+        if self._frozen_at_s is None:
+            return 0.0
+        return max(0.0, now - self._frozen_at_s)
+
+    def freeze_telemetry(self, now: float) -> None:
+        """Freeze the *read side* of PSI at its current values.
+
+        Accumulation continues underneath (the stalls are still
+        happening — only their reporting is stuck), so invariant checks
+        against internal state stay valid. Idempotent: re-freezing
+        keeps the original capture.
+        """
+        if self._frozen_at_s is not None:
+            return
+        self._frozen_at_s = now
+        self._frozen_totals = {}
+        for name, group in self._groups.items():
+            for resource in Resource:
+                self._frozen_totals[(name, resource)] = group.total(
+                    resource, "some"
+                )
+
+    def thaw_telemetry(self) -> None:
+        """Resume serving live telemetry."""
+        self._frozen_at_s = None
+        self._frozen_totals = {}

@@ -52,6 +52,14 @@ class Controller(Protocol):
         ...
 
 
+class UnknownWorkloadError(KeyError):
+    """An operation named a workload the host does not currently run.
+
+    Subclasses :class:`KeyError` so callers that treated the old
+    dict-lookup failure as a KeyError keep working.
+    """
+
+
 @dataclass
 class HostConfig:
     """Hardware and substrate configuration of one server.
@@ -276,18 +284,66 @@ class Host:
     def hosted(self) -> List[HostedWorkload]:
         return list(self._hosted.values())
 
-    def kill_workload(self, name: str) -> int:
+    def has_workload(self, name: str) -> bool:
+        """Whether a container of this name is currently running.
+
+        The public membership test — controllers must use this (or
+        :meth:`hosted`) instead of reaching into host internals.
+        """
+        return name in self._hosted
+
+    def kill_workload(self, name: str, missing_ok: bool = False) -> int:
         """Terminate a container (a userspace OOM-killer action).
 
         Releases every page the container holds (resident and
         offloaded), settles its PSI tasks to idle, and stops ticking its
         workload. The cgroup itself remains, like a dead but not yet
         removed container. Returns the number of pages released.
+
+        Args:
+            missing_ok: when True, killing an already-dead container is
+                a no-op returning 0; when False (the default) it raises
+                :class:`UnknownWorkloadError` (a ``KeyError``), so a
+                racing killer gets a clean, documented signal.
         """
-        hosted = self._hosted.pop(name)
+        hosted = self._hosted.pop(name, None)
+        if hosted is None:
+            if missing_ok:
+                return 0
+            raise UnknownWorkloadError(name)
         for task in hosted.psi_tasks:
             self.psi.remove_task(task.name, self.clock.now)
         return self.mm.release_cgroup_pages(name)
+
+    # ------------------------------------------------------------------
+    # workload-event hooks (used by repro.faults and tests)
+
+    def restart_workload(self, name: str) -> None:
+        """Restart a container in place (code push / crash loop).
+
+        The workload drops its entire page population and rebuilds it
+        at its current footprint — the restart-storm primitive of the
+        fault injector.
+        """
+        try:
+            hosted = self._hosted[name]
+        except KeyError:
+            raise UnknownWorkloadError(name) from None
+        hosted.workload.restart(self.clock.now)
+
+    def spike_workload(self, name: str, grow_frac: float) -> int:
+        """Queue a sudden footprint spike on a container.
+
+        The extra anonymous pages (``grow_frac`` of the current
+        population) are allocated during the workload's next tick, so
+        the resulting allocation stalls and possible OOM land in its
+        tick accounting like organic growth. Returns the queued count.
+        """
+        try:
+            hosted = self._hosted[name]
+        except KeyError:
+            raise UnknownWorkloadError(name) from None
+        return hosted.workload.request_spike(grow_frac)
 
     # ------------------------------------------------------------------
     # the tick loop

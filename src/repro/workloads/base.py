@@ -84,6 +84,7 @@ class Workload:
         self._pages: List[Page] = []
         self._intervals = np.empty(0)
         self._growth_carry = 0.0
+        self._pending_spike_pages = 0
         self.started = False
 
     # ------------------------------------------------------------------
@@ -142,13 +143,26 @@ class Workload:
         self.started = True
 
     def restart(self, now: float) -> None:
-        """Container restart (e.g. a code push): drop and rebuild state."""
+        """Container restart (e.g. a code push): drop and rebuild state.
+
+        A restart into a host that cannot absorb the full footprint
+        (say, memory exhausted while the swap device is down) comes
+        back up smaller — the container manager's behaviour after an
+        OOM kill during startup — rather than crashing the host.
+        """
         scale = len(self._pages) / max(1, self.size_pages())
-        self.mm.release_cgroup_pages(self.cgroup_name)
-        self._pages = []
-        self._intervals = np.empty(0)
-        self.started = False
-        self.start(now, size_scale=scale)
+        while True:
+            self.mm.release_cgroup_pages(self.cgroup_name)
+            self._pages = []
+            self._intervals = np.empty(0)
+            self.started = False
+            try:
+                self.start(now, size_scale=scale)
+                return
+            except OutOfMemoryError:
+                if max(2, int(self.size_pages() * scale)) <= 2:
+                    raise  # even a minimal population will not fit
+                scale /= 2.0
 
     # ------------------------------------------------------------------
 
@@ -195,6 +209,21 @@ class Workload:
         self._intervals = np.concatenate([self._intervals, new_intervals])
         return len(new_pages)
 
+    def request_spike(self, grow_frac: float) -> int:
+        """Queue a sudden footprint spike (``grow_frac`` of the current
+        population in new anonymous pages).
+
+        The allocation happens during the next :meth:`tick`, so its
+        stalls — and an OOM, if the host cannot absorb the spike — are
+        attributed to the workload exactly like organic growth. Returns
+        the number of pages queued.
+        """
+        if grow_frac < 0.0:
+            raise ValueError(f"grow_frac must be >= 0, got {grow_frac}")
+        n_new = int(len(self._pages) * grow_frac)
+        self._pending_spike_pages += n_new
+        return n_new
+
     def shift_workingset(self, frac: float, now: float) -> int:
         """A working-set transition: re-deal the heat of ``frac`` of the
         page population.
@@ -239,12 +268,26 @@ class Workload:
         tick.cpu_seconds = self.profile.cpu_cores * dt
 
         touched = self._select_touches(dt)
+        work_done = 0
         for idx in touched:
-            result = self.mm.touch(self._pages[idx], now)
+            try:
+                result = self.mm.touch(self._pages[idx], now)
+            except OutOfMemoryError:
+                # The fault path could not make room even with direct
+                # reclaim: the access fails, the rest of the quantum's
+                # touches are abandoned (the app is thrashing, not
+                # progressing), and the tick reports OOM.
+                tick.oom = True
+                break
             self._accumulate(result, tick)
-        tick.work_done = float(len(touched))
+            work_done += 1
+        tick.work_done = float(work_done)
 
         self._grow(now, dt, tick)
+        if self._pending_spike_pages > 0:
+            n_spike = self._pending_spike_pages
+            self._pending_spike_pages = 0
+            self._allocate_more(n_spike, now, tick)
         return tick
 
     def __repr__(self) -> str:

@@ -1,0 +1,184 @@
+"""Controllers racing container death must back off, not crash.
+
+Satellite coverage: Senpai polling killed containers, oomd kill races,
+and the public workload-membership API those behaviours rest on.
+"""
+
+import pytest
+
+from repro.core.oomd import Oomd, OomdConfig
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.sim.host import UnknownWorkloadError
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from tests.helpers import small_host
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+def _profile(npages=200):
+    return AppProfile(
+        name="app", size_gb=npages * MB / GB, anon_frac=0.6,
+        bands=HeatBands(0.3, 0.1, 0.1), compress_ratio=3.0,
+        nthreads=2, cpu_cores=1.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# host API
+
+
+def test_has_workload_reflects_lifecycle():
+    host = small_host(ram_gb=1.0)
+    assert not host.has_workload("app")
+    host.add_workload(Workload, profile=_profile(), name="app")
+    assert host.has_workload("app")
+    host.kill_workload("app")
+    assert not host.has_workload("app")
+
+
+def test_kill_unknown_workload_raises_documented_error():
+    host = small_host(ram_gb=1.0)
+    with pytest.raises(UnknownWorkloadError):
+        host.kill_workload("ghost")
+    # Racing killers can also match on plain KeyError.
+    with pytest.raises(KeyError):
+        host.kill_workload("ghost")
+
+
+def test_kill_missing_ok_is_a_noop():
+    host = small_host(ram_gb=1.0)
+    assert host.kill_workload("ghost", missing_ok=True) == 0
+
+
+def test_double_kill_raises_then_noops():
+    host = small_host(ram_gb=1.0)
+    host.add_workload(Workload, profile=_profile(), name="app")
+    assert host.kill_workload("app") > 0
+    with pytest.raises(UnknownWorkloadError):
+        host.kill_workload("app")
+    assert host.kill_workload("app", missing_ok=True) == 0
+
+
+def test_restart_and_spike_on_dead_workload_raise():
+    host = small_host(ram_gb=1.0)
+    with pytest.raises(UnknownWorkloadError):
+        host.restart_workload("ghost")
+    with pytest.raises(UnknownWorkloadError):
+        host.spike_workload("ghost", 0.1)
+
+
+# ----------------------------------------------------------------------
+# Senpai
+
+
+def test_senpai_explicit_target_dies_midrun_backs_off():
+    """A named (config.cgroups) container that gets killed must not
+    crash the controller; errors are counted and backed off."""
+    host = small_host(ram_gb=1.0, backend="zswap")
+    host.add_workload(Workload, profile=_profile(), name="a")
+    host.add_workload(Workload, profile=_profile(), name="b")
+    senpai = host.add_controller(Senpai(SenpaiConfig(
+        cgroups=("a", "b"),
+        reclaim_ratio=0.005, max_step_frac=0.03,
+    )))
+    host.run(60.0)
+    host.kill_workload("a")
+    # Killing drops the PSI domain: sampling "a" now raises inside the
+    # controller, which must absorb it (the dead cgroup object remains,
+    # so some periods may still succeed trivially — the point is no
+    # crash and continued control of "b").
+    host.run(120.0)
+    assert host.has_workload("b")
+    reclaims_b = host.metrics.series("b/senpai_reclaim")
+    assert len(reclaims_b) > 0
+
+
+def test_senpai_target_that_never_existed_backs_off():
+    host = small_host(ram_gb=1.0, backend="zswap")
+    host.add_workload(Workload, profile=_profile(), name="app")
+    senpai = host.add_controller(Senpai(SenpaiConfig(
+        cgroups=("app", "phantom"),
+        reclaim_ratio=0.005, max_step_frac=0.03,
+    )))
+    host.run(120.0)
+    assert senpai.error_skips > 0
+    assert len(host.metrics.series("senpai/errors")) > 0
+    # Exponential backoff: far fewer errors than polling periods.
+    periods = 120.0 / senpai.config.interval_s
+    assert senpai.error_skips < periods
+    # The healthy container is still controlled.
+    assert len(host.metrics.series("app/senpai_reclaim")) > 0
+
+
+def test_senpai_error_backoff_grows_exponentially():
+    host = small_host(ram_gb=1.0, backend="zswap")
+    host.add_workload(Workload, profile=_profile(), name="app")
+    senpai = host.add_controller(Senpai(SenpaiConfig(
+        cgroups=("phantom",),
+        error_backoff_s=6.0, error_backoff_max_s=48.0,
+    )))
+    host.run(300.0)
+    errors = host.metrics.series("senpai/errors")
+    gaps = [
+        errors.times[i + 1] - errors.times[i]
+        for i in range(len(errors) - 1)
+    ]
+    assert gaps, "expected repeated backoff cycles"
+    assert max(gaps) > min(gaps)  # later retries are spaced further
+    assert max(gaps) <= 48.0 + 2 * senpai.config.interval_s
+
+
+# ----------------------------------------------------------------------
+# oomd
+
+
+def test_oomd_tolerates_cgroup_vanishing_between_sample_and_kill():
+    host = small_host(ram_gb=1.0)
+    host.add_workload(Workload, profile=_profile(), name="app")
+    oomd = host.add_controller(Oomd(OomdConfig()))
+    host.run(10.0)
+    host.kill_workload("app")
+    host.run(10.0)  # polls a host with no targets: no crash
+    assert oomd.kills == []
+
+
+def test_oomd_lost_race_is_counted_not_fatal():
+    host = small_host(ram_gb=1.0)
+    host.add_workload(Workload, profile=_profile(), name="app")
+    oomd = Oomd(OomdConfig())
+    host.kill_workload("app")
+    oomd._kill(host, "app", now=1.0)  # the race: target died first
+    assert oomd.lost_races == 1
+    assert oomd.kills == []
+    assert not host.has_workload("app")  # and nothing was double-killed
+
+
+def test_oomd_does_not_double_kill():
+    host = small_host(ram_gb=1.0)
+    host.add_workload(Workload, profile=_profile(), name="app")
+    oomd = Oomd(OomdConfig())
+    oomd._kill(host, "app", now=1.0)
+    oomd._kill(host, "app", now=2.0)
+    assert [cg for _, cg in oomd.kills] == ["app"]
+    assert oomd.lost_races == 1
+
+
+def test_oomd_targets_use_public_membership():
+    """_targets must work against any host exposing hosted() — no
+    reliance on host internals (the old ``host._hosted`` reach-in)."""
+
+    class _Hosted:
+        def __init__(self, name):
+            self.cgroup_name = name
+
+    class _MinimalHost:
+        def hosted(self):
+            return [_Hosted("a"), _Hosted("b")]
+
+    oomd = Oomd(OomdConfig(cgroups=("b", "ghost")))
+    assert oomd._targets(_MinimalHost()) == ["b"]
+    assert Oomd(OomdConfig())._targets(_MinimalHost()) == ["a", "b"]

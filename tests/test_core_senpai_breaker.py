@@ -1,0 +1,160 @@
+"""Senpai hardening: circuit breaker, staleness skips, actual elapsed time."""
+
+import pytest
+
+from repro.core.senpai import Senpai, SenpaiConfig
+from repro.psi.types import Resource
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from tests.helpers import small_host
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+def _profile(npages=1600):
+    """Overcommits a 1 GB host so the swap path carries real traffic."""
+    return AppProfile(
+        name="app", size_gb=npages * MB / GB, anon_frac=0.7,
+        bands=HeatBands(0.25, 0.10, 0.10), compress_ratio=3.0,
+        nthreads=2, cpu_cores=1.0,
+    )
+
+
+def _breaker_host(**senpai_overrides):
+    host = small_host(ram_gb=1.0, backend="ssd", swap_gb=1.0)
+    host.add_workload(Workload, profile=_profile(), name="app")
+    defaults = dict(
+        reclaim_ratio=0.005, max_step_frac=0.03, write_limit_mb_s=None,
+        breaker_trip_polls=2, breaker_probe_s=30.0,
+    )
+    defaults.update(senpai_overrides)
+    senpai = host.add_controller(Senpai(SenpaiConfig(**defaults)))
+    return host, senpai
+
+
+def test_breaker_opens_on_swap_fault_storm_and_recloses():
+    host, senpai = _breaker_host()
+    host.run(300.0)  # build up steady swap traffic
+    assert host.mm.swap_op_count > 0
+    assert senpai.breaker_state == "closed"
+
+    host.swap_backend.device.faults.io_error_rate = 0.95
+    host.run(180.0)
+    assert senpai.breaker_open_count >= 1
+    assert host.mm.swap_fault_count > 0
+
+    host.swap_backend.device.faults.clear()
+    host.run(300.0)
+    assert senpai.breaker_reclose_count >= 1
+    assert senpai.breaker_state == "closed"
+
+    degraded = host.metrics.series("senpai/degraded")
+    assert 1.0 in degraded.values  # open
+    assert 0.5 in degraded.values  # half-open probe
+    assert degraded.values[-1] == 0.0  # re-closed
+
+
+def test_breaker_open_means_file_only_reclaim():
+    host, senpai = _breaker_host()
+    host.run(300.0)
+    host.swap_backend.device.faults.io_error_rate = 1.0
+    host.run(120.0)
+    assert senpai.breaker_state == "open"
+
+    # While open, Senpai must not push more pages at the dead device:
+    # reclaim-driven swap stores stop (the only swap ops left are the
+    # workload's own swap-ins of already-offloaded pages).
+    stores_before = host.swap_backend.stats.writes
+    host.run(60.0)
+    assert senpai.breaker_state in ("open", "half_open")
+    assert host.swap_backend.stats.writes == stores_before
+
+
+def test_breaker_ignores_sporadic_faults():
+    """A low error rate never trips the majority-faulty breaker."""
+    host, senpai = _breaker_host()
+    host.run(300.0)
+    host.swap_backend.device.faults.io_error_rate = 0.02
+    host.run(300.0)
+    assert senpai.breaker_state == "closed"
+    assert senpai.breaker_open_count == 0
+
+
+def test_stale_telemetry_skips_reclaim_period():
+    host, senpai = _breaker_host(stale_after_s=20.0)
+    host.run(120.0)
+    reclaims_before = len(host.metrics.series("app/senpai_reclaim"))
+
+    host.psi.freeze_telemetry(host.clock.now)
+    host.run(100.0)
+    assert senpai.stale_skips > 0
+    stale = host.metrics.series("senpai/stale")
+    assert len(stale) == senpai.stale_skips
+    # No reclaim was issued on frozen telemetry (the first few polls
+    # inside the stale_after_s grace window may still have run).
+    reclaims_during = (
+        len(host.metrics.series("app/senpai_reclaim")) - reclaims_before
+    )
+    assert reclaims_during <= 4
+
+    host.psi.thaw_telemetry()
+    skips = senpai.stale_skips
+    host.run(60.0)
+    assert senpai.stale_skips == skips  # healthy again
+    assert len(host.metrics.series("app/senpai_reclaim")) > reclaims_before
+
+
+def test_stale_skip_preserves_pressure_normalisation():
+    """Post-thaw pressure is divided by the true elapsed gap, so a
+    freeze must not manufacture a pressure spike or a zero-pressure
+    reclaim burst."""
+    host, senpai = _breaker_host(stale_after_s=20.0)
+    host.run(200.0)
+    host.psi.freeze_telemetry(host.clock.now)
+    host.run(60.0)
+    host.psi.thaw_telemetry()
+    host.run(30.0)
+    pressures = host.metrics.series("app/senpai_pressure").values
+    assert pressures  # resumed
+    assert all(p >= 0.0 for p in pressures)
+
+
+class _StubPsi:
+    def __init__(self):
+        self.totals = {Resource.MEMORY: 0.0, Resource.IO: 0.0}
+
+    def some_total(self, cgroup, resource):
+        return self.totals[resource]
+
+
+class _StubHost:
+    def __init__(self):
+        self.psi = _StubPsi()
+
+
+def test_observed_pressure_divides_by_actual_elapsed_time():
+    """Satellite fix: pressure = delta / actual elapsed, not interval."""
+    senpai = Senpai(SenpaiConfig(psi_threshold=0.001, io_threshold=0.001))
+    host = _StubHost()
+    senpai.observed_pressure(host, "app", 6.0)  # prime
+
+    host.psi.totals[Resource.MEMORY] = 0.012
+    # The same stall delta over a doubled period is half the pressure.
+    assert senpai.observed_pressure(host, "app", 12.0) == pytest.approx(
+        (0.012 / 12.0) / 0.001
+    )
+    host.psi.totals[Resource.MEMORY] = 0.024
+    assert senpai.observed_pressure(host, "app", 6.0) == pytest.approx(
+        (0.012 / 6.0) / 0.001
+    )
+
+
+def test_observed_pressure_guards_zero_elapsed():
+    senpai = Senpai(SenpaiConfig())
+    host = _StubHost()
+    senpai.observed_pressure(host, "app", 6.0)
+    host.psi.totals[Resource.MEMORY] = 0.001
+    assert senpai.observed_pressure(host, "app", 0.0) > 0.0  # no div-by-0

@@ -1,12 +1,16 @@
 """Failure injection: the system must degrade gracefully, not corrupt.
 
 Scenarios: swap device filling mid-run, zswap pool cap, container
-restart storms, killing containers mid-offload, and mixed-limit
-topologies under global memory pressure.
+restart storms, killing containers mid-offload, mixed-limit topologies
+under global memory pressure, and device faults injected through the
+public :class:`~repro.backends.device.DeviceFaultState` seam (see
+docs/RESILIENCE.md for the full taxonomy; the seeded end-to-end storms
+live in tests/test_faults_*.py).
 """
 
 import pytest
 
+from repro.backends.base import BackendFaultError
 from repro.backends.ssd import SwapFullError
 from repro.core.senpai import Senpai, SenpaiConfig
 from repro.kernel.page import PageKind, PageState
@@ -78,7 +82,7 @@ def test_restart_storm_under_senpai():
     )
     for _ in range(5):
         host.run(120.0)
-        host.workload("app").restart(host.clock.now)
+        host.restart_workload("app")
     host.run(120.0)
     cg = host.mm.cgroup("app")
     # Books still balance after repeated teardown/rebuild.
@@ -135,4 +139,69 @@ def test_senpai_survives_workload_kill():
     host.run(30.0)
     host.kill_workload("a")
     host.run(30.0)  # would raise if Senpai still targeted "a"
-    assert "b" in host._hosted
+    assert host.has_workload("b")
+
+
+# ----------------------------------------------------------------------
+# device faults through the public seam (DeviceFaultState)
+
+
+def test_swapin_error_is_refault_with_retry():
+    """A failed swap-in must never lose the page: the fault returns a
+    stalled retryable result and the page stays loadable."""
+    mm = make_mm(backend="ssd", ram_mb=64)
+    mm.create_cgroup("app")
+    pages, _ = mm.alloc_anon("app", 10, now=0.0)
+    mm.memory_reclaim("app", 10 * PAGE, now=1.0)
+    victim = next(p for p in pages if p.state is not PageState.RESIDENT)
+
+    mm.swap_backend.device.faults.io_error_rate = 1.0
+    result = mm.touch(victim, now=2.0)
+    assert result.event in ("swapin_error", "fileread_error")
+    assert result.stall_seconds > 0.0
+    assert victim.state is not PageState.RESIDENT  # still offloaded
+    assert mm.swap_fault_count > 0
+
+    mm.swap_backend.device.faults.clear()
+    result = mm.touch(victim, now=3.0)  # the retry succeeds
+    assert victim.state is PageState.RESIDENT
+    assert mm.cgroup("app").resident_bytes <= mm.ram_bytes
+
+
+def test_swapout_error_keeps_page_resident_and_books_balanced():
+    mm = make_mm(backend="ssd", ram_mb=64)
+    mm.create_cgroup("app")
+    mm.alloc_anon("app", 50, now=0.0)
+    cg = mm.cgroup("app")
+    resident_before = cg.resident_bytes
+
+    mm.swap_backend.device.faults.io_error_rate = 1.0
+    outcome = mm.memory_reclaim("app", 20 * PAGE, now=1.0)
+    # Nothing was swapped; no page vanished; accounting still balances.
+    assert cg.swap_bytes == 0
+    assert cg.resident_bytes == resident_before - outcome.reclaimed_bytes
+    assert mm.swap_fault_count > 0
+    assert mm.swap_backend.stored_bytes == 0
+
+
+def test_unavailable_device_raises_retryable_fault():
+    mm = make_mm(backend="ssd")
+    mm.swap_backend.device.faults.available = False
+    with pytest.raises(BackendFaultError):
+        mm.swap_backend.store(PAGE, 2.0, now=0.0)
+    assert mm.swap_backend.stored_bytes == 0  # no phantom store
+
+
+def test_failed_file_writeback_keeps_dirty_page():
+    """A dirty file page whose writeback fails must stay resident (it
+    holds the only copy of the data)."""
+    mm = make_mm(backend=None, ram_mb=64)
+    mm.create_cgroup("app")
+    pages, _ = mm.register_file("app", 10, now=0.0, resident=True)
+    for page in pages:
+        page.dirty = True
+    mm.fs.device.faults.io_error_rate = 1.0
+    mm.memory_reclaim("app", 5 * PAGE, now=1.0)
+    assert all(p.state is PageState.RESIDENT for p in pages)
+    assert mm.fs_fault_count > 0
+    assert len(mm.cgroup("app").shadow) == 0  # no phantom evictions

@@ -1,0 +1,93 @@
+"""The chaos harness: graceful degradation must hold on every CI seed.
+
+These are the same seeds and duration CI's ``chaos`` job sweeps via
+``python -m repro chaos --seeds 1 2 3 4 5``; keep the two in sync.
+"""
+
+import pytest
+
+from repro.faults.chaos import ChaosConfig, metrics_digest, run_chaos
+
+#: The seeds CI sweeps (see .github/workflows/ci.yml and the Makefile).
+CI_SEEDS = (1, 2, 3, 4, 5)
+
+_DURATION_S = 900.0
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """Run each CI seed once; the tests below share the results."""
+    out = {}
+    for seed in CI_SEEDS:
+        config = ChaosConfig(seed=seed, duration_s=_DURATION_S)
+        out[seed] = (config, run_chaos(config))
+    return out
+
+
+@pytest.mark.parametrize("seed", CI_SEEDS)
+def test_ci_seed_degrades_gracefully(reports, seed):
+    config, report = reports[seed]
+    assert report.passed(config), report.failures(config)
+
+
+@pytest.mark.parametrize("seed", CI_SEEDS)
+def test_no_unhandled_error_or_invariant_violation(reports, seed):
+    _, report = reports[seed]
+    assert report.unhandled_error is None
+
+
+@pytest.mark.parametrize("seed", CI_SEEDS)
+def test_faults_visible_in_metrics(reports, seed):
+    _, report = reports[seed]
+    assert report.injected_events > 0
+    assert report.fault_counts  # per-kind faults/* series were recorded
+
+
+@pytest.mark.parametrize("seed", CI_SEEDS)
+def test_breaker_opened_and_reclosed(reports, seed):
+    _, report = reports[seed]
+    assert report.breaker_opened
+    assert report.breaker_reclosed
+
+
+def test_same_seed_is_bit_identical(reports):
+    """Identical seed => identical fault schedule and metric series."""
+    config, first = reports[CI_SEEDS[0]]
+    second = run_chaos(config)
+    assert second.plan_digest == first.plan_digest
+    assert second.series_digest == first.series_digest
+    assert second.fault_counts == first.fault_counts
+    assert second.rps_tail == first.rps_tail
+
+
+def test_different_seeds_differ(reports):
+    _, a = reports[CI_SEEDS[0]]
+    _, b = reports[CI_SEEDS[1]]
+    assert a.plan_digest != b.plan_digest
+    assert a.series_digest != b.series_digest
+
+
+def test_report_failure_reasons_name_each_gap():
+    config = ChaosConfig(seed=1)
+    from repro.faults.chaos import ChaosReport
+
+    report = ChaosReport(seed=1, duration_s=900.0,
+                         unhandled_error="RuntimeError('boom')")
+    reasons = report.failures(config)
+    assert any("unhandled" in r for r in reasons)
+    assert any("never opened" in r for r in reasons)
+    assert not report.passed(config)
+
+
+def test_metrics_digest_is_order_insensitive_but_value_sensitive():
+    from repro.sim.metrics import MetricsRecorder
+
+    a = MetricsRecorder()
+    a.record("x", 1.0, 2.0)
+    a.record("y", 1.0, 3.0)
+    b = MetricsRecorder()
+    b.record("y", 1.0, 3.0)
+    b.record("x", 1.0, 2.0)
+    assert metrics_digest(a) == metrics_digest(b)
+    b.record("x", 2.0, 2.0)
+    assert metrics_digest(a) != metrics_digest(b)

@@ -1,0 +1,205 @@
+"""FaultInjector: plans must reach every public seam and fully recover."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector, _device_fault_states
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.kernel.controlfs import ControlFileError
+from repro.workloads.access import HeatBands
+from repro.workloads.apps import AppProfile
+from repro.workloads.base import Workload
+
+from tests.helpers import small_host
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+def _profile(npages=100):
+    return AppProfile(
+        name="app", size_gb=npages * MB / GB, anon_frac=0.6,
+        bands=HeatBands(0.3, 0.1, 0.1), compress_ratio=3.0,
+        nthreads=2, cpu_cores=1.0,
+    )
+
+
+def _host_with(plan, backend="ssd"):
+    host = small_host(ram_gb=1.0, backend=backend)
+    host.add_workload(Workload, profile=_profile(), name="app")
+    injector = host.add_controller(FaultInjector(plan))
+    return host, injector
+
+
+def _plan(*events, duration_s=100.0):
+    return FaultPlan(seed=0, duration_s=duration_s, events=tuple(events))
+
+
+def test_device_fault_states_walker_finds_all_seams():
+    for backend in ("ssd", "zswap", "tiered"):
+        host = small_host(ram_gb=1.0, backend=backend)
+        states = _device_fault_states(host.swap_backend)
+        expected = 2 if backend == "tiered" else 1
+        assert len(states) == expected, backend
+        assert _device_fault_states(host.fs)
+
+
+def test_io_error_window_sets_and_clears_rate():
+    plan = _plan(FaultEvent(kind="io_error", target="swap", start_s=10.0,
+                            duration_s=20.0, severity=0.8))
+    host, injector = _host_with(plan)
+    state = _device_fault_states(host.swap_backend)[0]
+
+    injector.poll(host, 5.0)
+    assert state.io_error_rate == 0.0
+    injector.poll(host, 15.0)
+    assert state.io_error_rate == 0.8
+    injector.poll(host, 35.0)
+    assert state.io_error_rate == 0.0
+    assert injector.injected == {"io_error": 1}
+
+
+def test_outage_and_brownout_windows():
+    plan = _plan(
+        FaultEvent(kind="outage", target="swap", start_s=10.0,
+                   duration_s=10.0),
+        FaultEvent(kind="brownout", target="fs", start_s=10.0,
+                   duration_s=10.0, severity=1.0),
+    )
+    host, injector = _host_with(plan)
+    swap_state = _device_fault_states(host.swap_backend)[0]
+    fs_state = _device_fault_states(host.fs)[0]
+
+    injector.poll(host, 12.0)
+    assert not swap_state.available
+    assert fs_state.latency_multiplier == pytest.approx(10.0)
+    injector.poll(host, 25.0)
+    assert swap_state.available
+    assert fs_state.latency_multiplier == 1.0
+
+
+def test_overlapping_io_error_windows_take_max_rate():
+    plan = _plan(
+        FaultEvent(kind="io_error", target="swap", start_s=0.0,
+                   duration_s=50.0, severity=0.3),
+        FaultEvent(kind="io_error", target="swap", start_s=10.0,
+                   duration_s=10.0, severity=0.9),
+    )
+    host, injector = _host_with(plan)
+    state = _device_fault_states(host.swap_backend)[0]
+
+    injector.poll(host, 5.0)
+    assert state.io_error_rate == 0.3
+    injector.poll(host, 15.0)
+    assert state.io_error_rate == 0.9
+    injector.poll(host, 25.0)  # inner window over, outer still on
+    assert state.io_error_rate == 0.3
+
+
+def test_psi_freeze_window_freezes_and_thaws():
+    plan = _plan(FaultEvent(kind="psi_freeze", target="host", start_s=10.0,
+                            duration_s=20.0))
+    host, injector = _host_with(plan)
+
+    injector.poll(host, 15.0)
+    assert host.psi.telemetry_frozen
+    assert host.controlfs.faults.frozen_pressure
+    assert host.psi.telemetry_age_s(25.0) == pytest.approx(10.0)
+    injector.poll(host, 35.0)
+    assert not host.psi.telemetry_frozen
+    assert host.controlfs.faults.healthy
+
+
+def test_malformed_pressure_window():
+    plan = _plan(FaultEvent(kind="malformed_pressure", target="host",
+                            start_s=10.0, duration_s=10.0))
+    host, injector = _host_with(plan)
+    injector.poll(host, 12.0)
+    text = host.controlfs.read("app/memory.pressure", now=12.0)
+    assert "NaN" in text or "garbage" in text
+    injector.poll(host, 25.0)
+    text = host.controlfs.read("app/memory.pressure", now=25.0)
+    assert "garbage" not in text
+
+
+def test_controlfs_error_window():
+    plan = _plan(FaultEvent(kind="controlfs_error", target="host",
+                            start_s=10.0, duration_s=10.0))
+    host, injector = _host_with(plan)
+    injector.poll(host, 12.0)
+    with pytest.raises(ControlFileError):
+        host.controlfs.read("app/memory.pressure", now=12.0)
+    injector.poll(host, 25.0)
+    host.controlfs.read("app/memory.pressure", now=25.0)  # healthy
+
+
+def test_wear_event_consumes_endurance_budget():
+    plan = _plan(FaultEvent(kind="wear", target="swap", start_s=10.0,
+                            duration_s=0.0, severity=0.1))
+    host, injector = _host_with(plan, backend="ssd")
+
+    before = host.swap_backend.endurance_bytes_written
+    injector.poll(host, 5.0)
+    assert host.swap_backend.endurance_bytes_written == before
+    injector.poll(host, 10.0)
+    consumed = host.swap_backend.endurance_bytes_written - before
+    assert consumed == int(0.1 * host.swap_backend.spec.endurance_pbw * 1e15)
+    # Fires exactly once.
+    injector.poll(host, 20.0)
+    assert host.swap_backend.endurance_bytes_written - before == consumed
+
+
+def test_restart_and_spike_fire_once_via_public_hooks():
+    plan = _plan(
+        FaultEvent(kind="restart", target="app", start_s=10.0,
+                   duration_s=0.0),
+        FaultEvent(kind="spike", target="app", start_s=20.0,
+                   duration_s=0.0, severity=0.2),
+    )
+    host, injector = _host_with(plan)
+    workload = host.workload("app")
+    npages = len(workload.pages)
+
+    injector.poll(host, 10.0)
+    assert injector.injected.get("restart") == 1
+    injector.poll(host, 20.0)
+    assert injector.injected.get("spike") == 1
+    assert workload._pending_spike_pages == int(0.2 * npages)
+    injector.poll(host, 30.0)
+    assert injector.injected == {"restart": 1, "spike": 1}
+
+
+def test_instant_event_on_missing_target_is_skipped():
+    plan = _plan(FaultEvent(kind="restart", target="ghost", start_s=10.0,
+                            duration_s=0.0))
+    host, injector = _host_with(plan)
+
+    injector.poll(host, 10.0)
+    assert injector.skipped == 1
+    assert injector.injected == {}
+
+
+def test_edges_recorded_on_metrics():
+    plan = _plan(FaultEvent(kind="io_error", target="swap", start_s=10.0,
+                            duration_s=10.0, severity=0.5))
+    host, injector = _host_with(plan)
+
+    injector.poll(host, 5.0)
+    injector.poll(host, 12.0)
+    injector.poll(host, 25.0)
+    edge = host.metrics.series("faults/io_error")
+    assert list(edge.values) == [1.0, 0.0]
+    active = host.metrics.series("faults/active")
+    assert list(active.values) == [0.0, 1.0, 0.0]
+
+
+def test_full_run_recovers_all_seams():
+    """After a generated schedule ends, every seam reads healthy."""
+    plan = FaultPlan.generate(9, 600.0, extra_events=8)
+    host, injector = _host_with(plan)
+    host.run(600.0)
+
+    for state in (_device_fault_states(host.swap_backend)
+                  + _device_fault_states(host.fs)):
+        assert state.healthy
+    assert host.controlfs.faults.healthy
+    assert not host.psi.telemetry_frozen

@@ -1,0 +1,105 @@
+"""FaultPlan: seed-derived schedules must be valid and bit-reproducible."""
+
+import pytest
+
+from repro.faults.plan import (
+    DEVICE_KINDS,
+    FAULT_KINDS,
+    INSTANT_KINDS,
+    RECOVERY_TAIL_FRAC,
+    FaultEvent,
+    FaultPlan,
+)
+
+
+def test_same_seed_same_plan():
+    a = FaultPlan.generate(7, 900.0)
+    b = FaultPlan.generate(7, 900.0)
+    assert a == b
+    assert a.digest_text() == b.digest_text()
+
+
+def test_different_seed_different_plan():
+    a = FaultPlan.generate(7, 900.0)
+    b = FaultPlan.generate(8, 900.0)
+    assert a.digest_text() != b.digest_text()
+
+
+def test_plan_always_includes_breaker_storm():
+    for seed in range(20):
+        plan = FaultPlan.generate(seed, 900.0)
+        storms = [
+            ev for ev in plan.events
+            if ev.kind == "io_error" and ev.target == "swap"
+            and ev.severity >= 0.9
+        ]
+        assert storms, f"seed {seed} has no guaranteed swap storm"
+        assert any(ev.duration_s >= 45.0 for ev in storms)
+
+
+def test_every_window_ends_before_recovery_tail():
+    for seed in range(20):
+        plan = FaultPlan.generate(seed, 900.0)
+        tail = RECOVERY_TAIL_FRAC * plan.duration_s
+        for ev in plan.events:
+            if not ev.instant:
+                assert ev.end_s <= tail + 1e-9
+
+
+def test_events_sorted_by_start():
+    plan = FaultPlan.generate(3, 900.0, extra_events=20)
+    starts = [ev.start_s for ev in plan.events]
+    assert starts == sorted(starts)
+
+
+def test_instant_kinds_have_zero_duration():
+    plan = FaultPlan.generate(5, 900.0, extra_events=40)
+    for ev in plan.events:
+        if ev.kind in INSTANT_KINDS:
+            assert ev.duration_s == 0.0
+            assert ev.instant
+            assert not ev.active(ev.start_s)
+
+
+def test_device_kinds_target_a_device():
+    plan = FaultPlan.generate(11, 900.0, extra_events=40)
+    for ev in plan.events:
+        if ev.kind in DEVICE_KINDS:
+            assert ev.target in ("swap", "fs")
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(kind="nonsense", target="swap", start_s=0.0,
+                   duration_s=1.0)
+    with pytest.raises(ValueError):
+        FaultEvent(kind="io_error", target="swap", start_s=-1.0,
+                   duration_s=1.0)
+    with pytest.raises(ValueError):
+        FaultEvent(kind="io_error", target="swap", start_s=0.0,
+                   duration_s=1.0, severity=1.5)
+
+
+def test_generate_validation():
+    with pytest.raises(ValueError):
+        FaultPlan.generate(1, 0.0)
+    with pytest.raises(ValueError):
+        FaultPlan.generate(1, 900.0, cgroups=())
+
+
+def test_active_window_semantics():
+    ev = FaultEvent(kind="outage", target="swap", start_s=10.0,
+                    duration_s=5.0)
+    assert not ev.active(9.9)
+    assert ev.active(10.0)
+    assert ev.active(14.9)
+    assert not ev.active(15.0)
+
+
+def test_all_kinds_are_generable():
+    """With enough extra events, every fault kind eventually appears."""
+    seen = set()
+    for seed in range(30):
+        plan = FaultPlan.generate(seed, 900.0, extra_events=10)
+        seen.update(ev.kind for ev in plan.events)
+    assert seen == set(FAULT_KINDS)
