@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test chaos bench bench-tables examples docs lint all
+.PHONY: install test chaos crash-equivalence bench bench-tables examples docs lint all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -14,6 +14,11 @@ test:
 # tests/test_faults_chaos.py::CI_SEEDS.
 chaos:
 	TMO_CHECK_INVARIANTS=1 $(PYTHON) -m repro chaos --seeds 1 2 3 4 5
+
+# Checkpoint -> kill -> restore -> continue must be digest-identical
+# to never having crashed (docs/RESILIENCE.md, "Recovery").
+crash-equivalence:
+	TMO_CHECK_INVARIANTS=1 $(PYTHON) -m repro crash-equivalence --seeds 1 2 3
 
 # ruff and mypy run only when installed (they are optional, see
 # [project.optional-dependencies].lint); repro.lint always runs and

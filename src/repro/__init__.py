@@ -32,7 +32,9 @@ Quickstart::
 """
 
 from repro.backends import SSD_CATALOG, SsdSwapBackend, ZswapBackend
+from repro.checkpoint import SnapshotError
 from repro.core import (
+    FailedHost,
     Fleet,
     FleetResult,
     GSwapConfig,
@@ -46,6 +48,8 @@ from repro.core import (
     SenpaiConfig,
     SenpaiDaemon,
     SenpaiDaemonConfig,
+    Supervisor,
+    SupervisorConfig,
     WriteRegulator,
     reclaim_amount,
 )
@@ -78,6 +82,7 @@ __all__ = [
     "APP_CATALOG",
     "AppProfile",
     "Cgroup",
+    "FailedHost",
     "Fleet",
     "FleetResult",
     "GSwapConfig",
@@ -97,6 +102,9 @@ __all__ = [
     "PsiSystem",
     "Resource",
     "SSD_CATALOG",
+    "SnapshotError",
+    "Supervisor",
+    "SupervisorConfig",
     "Oomd",
     "OomdConfig",
     "Senpai",

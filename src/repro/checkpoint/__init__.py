@@ -1,0 +1,74 @@
+"""Crash-safe checkpoint/restore of the whole simulation.
+
+The paper's controllers survive restarts because ``memory.reclaim`` is
+stateless (Section 3.3); this package extends that restartability to
+the entire reproduction. A host — clock, memory manager, cgroup trees,
+LRU orders, shadow entries, PSI trackers, device queues, fault seams,
+RNG streams, workloads, controllers, metric series — serializes to a
+single versioned, digest-protected JSON document, and restores to a
+host that continues *bit-identically*: running to ``t1``, snapshotting,
+killing the process, restoring and running to ``t2`` produces the same
+metric-series digest as running straight to ``t2``. The chaos
+harness's crash-equivalence mode (``python -m repro crash-equivalence``)
+asserts exactly that.
+
+Entry points: ``Host.snapshot()`` / ``Host.restore()`` wrap
+:func:`snapshot_host` / :func:`restore_host`; :func:`save_snapshot` /
+:func:`load_snapshot` add the file layer used by
+``python -m repro run --checkpoint-every N --resume PATH``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.checkpoint.codec import build_host, encode_host_state
+from repro.checkpoint.snapshot import (
+    SCHEMA_VERSION,
+    SnapshotError,
+    dump_envelope,
+    parse_document,
+    payload_digest,
+    validate_envelope,
+    wrap_payload,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SnapshotError",
+    "snapshot_host",
+    "restore_host",
+    "save_snapshot",
+    "load_snapshot",
+    "payload_digest",
+]
+
+
+def snapshot_host(host) -> Dict[str, Any]:
+    """Snapshot a host into a versioned, digest-carrying envelope."""
+    return wrap_payload(encode_host_state(host))
+
+
+def restore_host(envelope: Any):
+    """Validate an envelope and rebuild the host it describes.
+
+    The envelope is checked end to end (schema version, digest, shape)
+    *before* any construction, so a bad snapshot raises
+    :class:`SnapshotError` and never yields a half-restored host.
+    """
+    return build_host(validate_envelope(envelope))
+
+
+def save_snapshot(host, path: str) -> str:
+    """Snapshot ``host`` to ``path``; returns the payload digest."""
+    envelope = snapshot_host(host)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dump_envelope(envelope))
+    return envelope["digest"]
+
+
+def load_snapshot(path: str):
+    """Read, validate and restore a snapshot file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    return restore_host(parse_document(text))

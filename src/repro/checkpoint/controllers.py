@@ -1,0 +1,391 @@
+"""Encoders/decoders for controller state.
+
+Controllers hold the state TMO deliberately keeps *out* of the kernel —
+Senpai's breaker phase and per-cgroup backoff timers, oomd's watch
+windows, the fault injector's fired/active sets, a supervisor's
+restart bookkeeping. These codecs serve two layers:
+
+* the host snapshot (:mod:`repro.checkpoint.codec`) embeds one encoded
+  document per attached controller, in polling order;
+* the :class:`~repro.core.supervisor.Supervisor` persists its inner
+  controller through the same codec, so a restarted controller resumes
+  from exactly the state a host-level restore would have given it.
+
+A controller type without a codec raises :class:`SnapshotError` at
+snapshot time — loudly, before anything is written — rather than
+producing a snapshot that cannot restore.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+from repro.checkpoint.snapshot import SnapshotError
+from repro.core.autotune import AutoTuneConfig, AutoTuneSenpai, _TuneState
+from repro.core.oomd import Oomd, OomdConfig, _WatchState
+from repro.core.senpai import Senpai, SenpaiConfig, SloTier, _CgroupState
+from repro.core.supervisor import Supervisor, SupervisorConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.psi.types import Resource
+
+
+def _opt_float(value: Optional[float]) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+# ----------------------------------------------------------------------
+# Senpai (and the AIMD-tuned subclass)
+
+
+def _encode_senpai_config(config: SenpaiConfig) -> Dict[str, Any]:
+    return {
+        "interval_s": float(config.interval_s),
+        "psi_threshold": float(config.psi_threshold),
+        "io_threshold": float(config.io_threshold),
+        "reclaim_ratio": float(config.reclaim_ratio),
+        "max_step_frac": float(config.max_step_frac),
+        "write_limit_mb_s": _opt_float(config.write_limit_mb_s),
+        "file_only_mode": bool(config.file_only_mode),
+        "swap_free_margin_frac": float(config.swap_free_margin_frac),
+        "endurance_limit_frac": float(config.endurance_limit_frac),
+        "cgroups": list(config.cgroups) if config.cgroups else None,
+        "slo_tiers": [
+            [name, float(tier.pressure_scale), float(tier.ratio_scale)]
+            for name, tier in config.slo_tiers
+        ],
+        "stale_after_s": float(config.stale_after_s),
+        "breaker_trip_polls": int(config.breaker_trip_polls),
+        "breaker_probe_s": float(config.breaker_probe_s),
+        "error_backoff_s": float(config.error_backoff_s),
+        "error_backoff_max_s": float(config.error_backoff_max_s),
+    }
+
+
+def _decode_senpai_config(enc: Dict[str, Any]) -> SenpaiConfig:
+    kwargs = dict(enc)
+    cgroups = kwargs.pop("cgroups")
+    slo_tiers = kwargs.pop("slo_tiers")
+    return SenpaiConfig(
+        cgroups=tuple(cgroups) if cgroups else None,
+        slo_tiers=tuple(
+            (name, SloTier(pressure_scale=p, ratio_scale=r))
+            for name, p, r in slo_tiers
+        ),
+        **kwargs,
+    )
+
+
+def _encode_senpai_state(senpai: Senpai) -> Dict[str, Any]:
+    regulator = None
+    if senpai.regulator is not None:
+        regulator = {
+            "limit_bytes_per_s": float(senpai.regulator.limit_bytes_per_s),
+            "window_s": float(senpai.regulator.window_s),
+            "rate": float(senpai.regulator._rate),
+            "last_bytes_written": int(senpai.regulator._last_bytes_written),
+            "allowance": float(senpai.regulator._allowance),
+        }
+    return {
+        "states": [
+            [name, float(st.last_mem_total), float(st.last_io_total),
+             bool(st.seen), int(st.error_streak), float(st.skip_until_s)]
+            for name, st in senpai._states.items()
+        ],
+        "next_poll": _opt_float(senpai._next_poll),
+        "last_tick": _opt_float(senpai._last_tick),
+        "last_period_at": _opt_float(senpai._last_period_at),
+        "total_requested": int(senpai.total_requested),
+        "total_reclaimed": int(senpai.total_reclaimed),
+        "breaker_state": senpai.breaker_state,
+        "breaker_open_count": int(senpai.breaker_open_count),
+        "breaker_reclose_count": int(senpai.breaker_reclose_count),
+        "breaker_faulty_streak": int(senpai._breaker_faulty_streak),
+        "breaker_opened_at_s": _opt_float(senpai._breaker_opened_at_s),
+        "last_swap_ops": int(senpai._last_swap_ops),
+        "last_swap_faults": int(senpai._last_swap_faults),
+        "stale_skips": int(senpai.stale_skips),
+        "error_skips": int(senpai.error_skips),
+        "regulator": regulator,
+    }
+
+
+def _apply_senpai_state(senpai: Senpai, enc: Dict[str, Any]) -> None:
+    senpai._states = {
+        name: _CgroupState(
+            last_mem_total=float(mem_total),
+            last_io_total=float(io_total),
+            seen=bool(seen),
+            error_streak=int(streak),
+            skip_until_s=float(skip_until_s),
+        )
+        for name, mem_total, io_total, seen, streak, skip_until_s
+        in enc["states"]
+    }
+    senpai._next_poll = _opt_float(enc["next_poll"])
+    senpai._last_tick = _opt_float(enc["last_tick"])
+    senpai._last_period_at = _opt_float(enc["last_period_at"])
+    senpai.total_requested = int(enc["total_requested"])
+    senpai.total_reclaimed = int(enc["total_reclaimed"])
+    senpai.breaker_state = enc["breaker_state"]
+    senpai.breaker_open_count = int(enc["breaker_open_count"])
+    senpai.breaker_reclose_count = int(enc["breaker_reclose_count"])
+    senpai._breaker_faulty_streak = int(enc["breaker_faulty_streak"])
+    senpai._breaker_opened_at_s = _opt_float(enc["breaker_opened_at_s"])
+    senpai._last_swap_ops = int(enc["last_swap_ops"])
+    senpai._last_swap_faults = int(enc["last_swap_faults"])
+    senpai.stale_skips = int(enc["stale_skips"])
+    senpai.error_skips = int(enc["error_skips"])
+    if enc["regulator"] is not None and senpai.regulator is not None:
+        reg_enc = enc["regulator"]
+        senpai.regulator.limit_bytes_per_s = float(
+            reg_enc["limit_bytes_per_s"]
+        )
+        senpai.regulator.window_s = float(reg_enc["window_s"])
+        senpai.regulator._rate = float(reg_enc["rate"])
+        senpai.regulator._last_bytes_written = int(
+            reg_enc["last_bytes_written"]
+        )
+        senpai.regulator._allowance = float(reg_enc["allowance"])
+
+
+def _encode_senpai(senpai: Senpai) -> Dict[str, Any]:
+    return {
+        "type": "Senpai",
+        "config": _encode_senpai_config(senpai.config),
+        "state": _encode_senpai_state(senpai),
+    }
+
+
+def _decode_senpai(enc: Dict[str, Any]) -> Senpai:
+    senpai = Senpai(_decode_senpai_config(enc["config"]))
+    _apply_senpai_state(senpai, enc["state"])
+    return senpai
+
+
+def _encode_autotune(senpai: AutoTuneSenpai) -> Dict[str, Any]:
+    tune = senpai.tune
+    return {
+        "type": "AutoTuneSenpai",
+        "config": {
+            "base": _encode_senpai_config(tune.base),
+            "ratio_min": float(tune.ratio_min),
+            "ratio_max": float(tune.ratio_max),
+            "raise_below": float(tune.raise_below),
+            "raise_factor": float(tune.raise_factor),
+            "backoff_factor": float(tune.backoff_factor),
+            "settle_periods": int(tune.settle_periods),
+        },
+        "state": _encode_senpai_state(senpai),
+        "ratios": [
+            [name, float(st.ratio), int(st.calm_periods)]
+            for name, st in senpai._ratios.items()
+        ],
+    }
+
+
+def _decode_autotune(enc: Dict[str, Any]) -> AutoTuneSenpai:
+    config_enc = dict(enc["config"])
+    base = _decode_senpai_config(config_enc.pop("base"))
+    senpai = AutoTuneSenpai(AutoTuneConfig(base=base, **config_enc))
+    _apply_senpai_state(senpai, enc["state"])
+    senpai._ratios = {
+        name: _TuneState(ratio=float(ratio), calm_periods=int(calm))
+        for name, ratio, calm in enc["ratios"]
+    }
+    return senpai
+
+
+# ----------------------------------------------------------------------
+# oomd
+
+
+def _encode_oomd(oomd: Oomd) -> Dict[str, Any]:
+    config = oomd.config
+    return {
+        "type": "Oomd",
+        "config": {
+            "full_threshold": float(config.full_threshold),
+            "sustain_s": float(config.sustain_s),
+            "resource": config.resource.value,
+            "interval_s": float(config.interval_s),
+            "cgroups": list(config.cgroups) if config.cgroups else None,
+        },
+        "states": [
+            [name, _opt_float(st.over_since)]
+            for name, st in oomd._states.items()
+        ],
+        "next_poll": _opt_float(oomd._next_poll),
+        "kills": [[float(t), name] for t, name in oomd.kills],
+        "lost_races": int(oomd.lost_races),
+    }
+
+
+def _decode_oomd(enc: Dict[str, Any]) -> Oomd:
+    config_enc = enc["config"]
+    oomd = Oomd(OomdConfig(
+        full_threshold=float(config_enc["full_threshold"]),
+        sustain_s=float(config_enc["sustain_s"]),
+        resource=Resource(config_enc["resource"]),
+        interval_s=float(config_enc["interval_s"]),
+        cgroups=(
+            tuple(config_enc["cgroups"])
+            if config_enc["cgroups"] else None
+        ),
+    ))
+    oomd._states = {
+        name: _WatchState(over_since=_opt_float(over_since))
+        for name, over_since in enc["states"]
+    }
+    oomd._next_poll = _opt_float(enc["next_poll"])
+    oomd.kills = [(float(t), name) for t, name in enc["kills"]]
+    oomd.lost_races = int(enc["lost_races"])
+    return oomd
+
+
+# ----------------------------------------------------------------------
+# fault injector
+
+
+def _encode_injector(injector: FaultInjector) -> Dict[str, Any]:
+    plan = injector.plan
+    return {
+        "type": "FaultInjector",
+        "plan": {
+            "seed": int(plan.seed),
+            "duration_s": float(plan.duration_s),
+            "events": [
+                [ev.kind, ev.target, float(ev.start_s),
+                 float(ev.duration_s), float(ev.severity)]
+                for ev in plan.events
+            ],
+        },
+        "active": sorted(int(i) for i in injector._active),
+        "fired": sorted(int(i) for i in injector._fired),
+        "injected": dict(injector.injected),
+        "skipped": int(injector.skipped),
+    }
+
+
+def _decode_injector(enc: Dict[str, Any]) -> FaultInjector:
+    plan_enc = enc["plan"]
+    plan = FaultPlan(
+        seed=int(plan_enc["seed"]),
+        duration_s=float(plan_enc["duration_s"]),
+        events=tuple(
+            FaultEvent(
+                kind=kind, target=target, start_s=float(start_s),
+                duration_s=float(duration_s), severity=float(severity),
+            )
+            for kind, target, start_s, duration_s, severity
+            in plan_enc["events"]
+        ),
+    )
+    injector = FaultInjector(plan)
+    injector._active = {int(i) for i in enc["active"]}
+    injector._fired = {int(i) for i in enc["fired"]}
+    injector.injected = {
+        kind: int(n) for kind, n in enc["injected"].items()
+    }
+    injector.skipped = int(enc["skipped"])
+    return injector
+
+
+# ----------------------------------------------------------------------
+# supervisor
+
+
+def _encode_supervisor(supervisor: Supervisor) -> Dict[str, Any]:
+    return {
+        "type": "Supervisor",
+        "config": {
+            f.name: float(getattr(supervisor.config, f.name))
+            for f in dataclasses.fields(supervisor.config)
+        },
+        "controller": encode_controller(supervisor.controller),
+        "alive": bool(supervisor.alive),
+        "crash_count": int(supervisor.crash_count),
+        "hang_kill_count": int(supervisor.hang_kill_count),
+        "restart_count": int(supervisor.restart_count),
+        "last_heartbeat_s": _opt_float(supervisor._last_heartbeat_s),
+        "next_persist_s": _opt_float(supervisor._next_persist_s),
+        "restart_at_s": _opt_float(supervisor._restart_at_s),
+        "backoff_s": float(supervisor._backoff_s),
+        "faults": {
+            "crash_pending": bool(supervisor.faults.crash_pending),
+            "hung": bool(supervisor.faults.hung),
+        },
+        "persisted": supervisor._persisted,
+    }
+
+
+def _decode_supervisor(enc: Dict[str, Any]) -> Supervisor:
+    supervisor = Supervisor(
+        decode_controller(enc["controller"]),
+        SupervisorConfig(**{
+            key: float(value) for key, value in enc["config"].items()
+        }),
+    )
+    supervisor.alive = bool(enc["alive"])
+    supervisor.crash_count = int(enc["crash_count"])
+    supervisor.hang_kill_count = int(enc["hang_kill_count"])
+    supervisor.restart_count = int(enc["restart_count"])
+    supervisor._last_heartbeat_s = _opt_float(enc["last_heartbeat_s"])
+    supervisor._next_persist_s = _opt_float(enc["next_persist_s"])
+    supervisor._restart_at_s = _opt_float(enc["restart_at_s"])
+    supervisor._backoff_s = float(enc["backoff_s"])
+    supervisor.faults.crash_pending = bool(enc["faults"]["crash_pending"])
+    supervisor.faults.hung = bool(enc["faults"]["hung"])
+    supervisor._persisted = enc["persisted"]
+    return supervisor
+
+
+# ----------------------------------------------------------------------
+# dispatch
+
+_DECODERS = {
+    "Senpai": _decode_senpai,
+    "AutoTuneSenpai": _decode_autotune,
+    "Oomd": _decode_oomd,
+    "FaultInjector": _decode_injector,
+    "Supervisor": _decode_supervisor,
+}
+
+
+def encode_controller(controller: Any) -> Dict[str, Any]:
+    """Encode one controller; raises SnapshotError for unknown types.
+
+    Dispatch is on the *exact* class: a subclass with extra state must
+    register its own codec rather than silently losing that state
+    through its parent's.
+    """
+    type_name = type(controller).__name__
+    if type_name == "Senpai":
+        return _encode_senpai(controller)
+    if type_name == "AutoTuneSenpai":
+        return _encode_autotune(controller)
+    if type_name == "Oomd":
+        return _encode_oomd(controller)
+    if type_name == "FaultInjector":
+        return _encode_injector(controller)
+    if type_name == "Supervisor":
+        return _encode_supervisor(controller)
+    raise SnapshotError(
+        f"no snapshot codec for controller type {type_name!r}; "
+        f"supported: {sorted(_DECODERS)}",
+        field="controllers",
+    )
+
+
+def decode_controller(enc: Dict[str, Any]) -> Any:
+    """Rebuild one controller from its encoded document."""
+    type_name = enc.get("type")
+    decoder = _DECODERS.get(type_name)
+    if decoder is None:
+        raise SnapshotError(
+            f"snapshot names unknown controller type {type_name!r}; "
+            f"supported: {sorted(_DECODERS)}",
+            field="controllers",
+        )
+    return decoder(enc)

@@ -6,9 +6,14 @@ Commands:
   characteristics.
 * ``list-ssds`` — the Figure 5 device catalog.
 * ``run-host`` — simulate one host under Senpai and report savings.
+* ``run`` — a checkpointed long run: ``--checkpoint-every N`` snapshots
+  periodically, ``--resume PATH`` continues a killed run bit-identically
+  (see docs/RESILIENCE.md, "Recovery").
 * ``cost-table`` — the Figure 1 hardware cost trends.
 * ``chaos`` — seeded fault-injection runs under invariant checking
   (see docs/RESILIENCE.md).
+* ``crash-equivalence`` — prove checkpoint → kill → restore → continue
+  matches the uninterrupted run digest-for-digest.
 """
 
 from __future__ import annotations
@@ -86,27 +91,10 @@ def _cmd_cost_table(_args) -> int:
 
 
 def _cmd_run_host(args) -> int:
-    if args.app not in APP_CATALOG:
-        print(f"unknown app {args.app!r}; see `list-apps`",
-              file=sys.stderr)
+    host = _build_single_app_host(args)
+    if host is None:
         return 2
-    profile = APP_CATALOG[args.app]
-    backend = args.backend or profile.preferred_backend
-    host = Host(HostConfig(
-        ram_gb=args.ram_gb,
-        ncpu=args.ncpu,
-        page_size_bytes=args.page_mb * MB,
-        backend=None if backend == "none" else backend,
-        seed=args.seed,
-    ))
-    if args.app == "Web":
-        host.add_workload(WebWorkload, name="app",
-                          size_scale=args.size_scale)
-    else:
-        host.add_workload(Workload, profile=profile, name="app",
-                          size_scale=args.size_scale)
-    if backend != "none":
-        host.add_controller(Senpai(SenpaiConfig()))
+    backend = args.backend or APP_CATALOG[args.app].preferred_backend
     print(f"simulating {args.duration:.0f}s of {args.app!r} on a "
           f"{args.ram_gb:.0f} GB host with backend {backend!r} ...")
     host.run(args.duration)
@@ -180,6 +168,100 @@ def _cmd_run_ab(args) -> int:
     return 0
 
 
+def _build_single_app_host(args) -> Optional[Host]:
+    """The shared host recipe of ``run-host`` and ``run``."""
+    if args.app not in APP_CATALOG:
+        print(f"unknown app {args.app!r}; see `list-apps`",
+              file=sys.stderr)
+        return None
+    profile = APP_CATALOG[args.app]
+    backend = args.backend or profile.preferred_backend
+    host = Host(HostConfig(
+        ram_gb=args.ram_gb,
+        ncpu=args.ncpu,
+        page_size_bytes=args.page_mb * MB,
+        backend=None if backend == "none" else backend,
+        seed=args.seed,
+    ))
+    if args.app == "Web":
+        host.add_workload(WebWorkload, name="app",
+                          size_scale=args.size_scale)
+    else:
+        host.add_workload(Workload, profile=profile, name="app",
+                          size_scale=args.size_scale)
+    if backend != "none":
+        host.add_controller(Senpai(SenpaiConfig()))
+    return host
+
+
+def _cmd_run(args) -> int:
+    from repro.checkpoint import SnapshotError, load_snapshot, save_snapshot
+    from repro.faults.chaos import metrics_digest
+
+    if args.resume is not None:
+        try:
+            host = load_snapshot(args.resume)
+        except OSError as exc:
+            print(f"cannot read snapshot: {exc}", file=sys.stderr)
+            return 2
+        except SnapshotError as exc:
+            print(f"refusing snapshot {args.resume!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"resumed from {args.resume} at t={host.clock.now:.0f}s")
+    else:
+        host = _build_single_app_host(args)
+        if host is None:
+            return 2
+    end_s = args.duration
+    if host.clock.now >= end_s:
+        print(f"nothing to do: snapshot is already at "
+              f"t={host.clock.now:.0f}s >= --duration {end_s:.0f}s",
+              file=sys.stderr)
+        return 2
+    while host.clock.now < end_s:
+        if args.checkpoint_every is not None:
+            chunk = min(args.checkpoint_every, end_s - host.clock.now)
+        else:
+            chunk = end_s - host.clock.now
+        host.run(chunk)
+        if args.checkpoint_every is not None:
+            digest = save_snapshot(host, args.checkpoint_path)
+            print(f"checkpoint at t={host.clock.now:.0f}s -> "
+                  f"{args.checkpoint_path} (digest {digest[:16]})")
+    print(f"done at t={host.clock.now:.0f}s; metrics digest "
+          f"{metrics_digest(host.metrics)}")
+    return 0
+
+
+def _cmd_crash_equivalence(args) -> int:
+    from repro.faults.chaos import (
+        ChaosConfig,
+        format_crash_equivalence,
+        run_crash_equivalence,
+    )
+
+    seeds = args.seeds if args.seeds else [args.seed]
+    failures = 0
+    for seed in seeds:
+        config = ChaosConfig(
+            seed=seed,
+            duration_s=args.duration,
+            supervised=True,
+            controller_faults=args.controller_faults,
+        )
+        report = run_crash_equivalence(config)
+        print(format_crash_equivalence(report))
+        if not report.equivalent:
+            failures += 1
+    if failures:
+        print(f"{failures}/{len(seeds)} crash-equivalence runs FAILED",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(seeds)} crash-equivalence runs passed")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.faults.chaos import ChaosConfig, format_report, run_chaos
 
@@ -233,6 +315,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fraction of the production footprint")
     run.add_argument("--seed", type=int, default=1234)
 
+    ckpt = sub.add_parser(
+        "run",
+        help="checkpointed long run: snapshot periodically, resume "
+             "a killed run bit-identically",
+    )
+    ckpt.add_argument("--app", default="Feed",
+                      help="application name (ignored with --resume)")
+    ckpt.add_argument("--backend", default=None,
+                      choices=["zswap", "ssd", "tiered", "none"])
+    ckpt.add_argument("--duration", type=float, default=1800.0,
+                      help="total simulated seconds, including any "
+                           "already covered by a resumed snapshot")
+    ckpt.add_argument("--ram-gb", type=float, default=4.0)
+    ckpt.add_argument("--ncpu", type=int, default=16)
+    ckpt.add_argument("--page-mb", type=int, default=1)
+    ckpt.add_argument("--size-scale", type=float, default=0.05)
+    ckpt.add_argument("--seed", type=int, default=1234)
+    ckpt.add_argument("--checkpoint-every", type=float, default=None,
+                      metavar="N",
+                      help="snapshot every N simulated seconds")
+    ckpt.add_argument("--checkpoint-path",
+                      default="tmo-checkpoint.json",
+                      help="where snapshots are written")
+    ckpt.add_argument("--resume", default=None, metavar="PATH",
+                      help="restore this snapshot and continue")
+
     ab = sub.add_parser(
         "run-ab", help="A/B two backends on identically seeded hosts"
     )
@@ -265,6 +373,21 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--extra-events", type=int, default=6,
                        help="random fault windows beyond the guaranteed "
                             "breaker storm")
+
+    ce = sub.add_parser(
+        "crash-equivalence",
+        help="assert checkpoint -> kill -> restore -> continue matches "
+             "the uninterrupted run digest-for-digest",
+    )
+    ce.add_argument("--seed", type=int, default=1,
+                    help="seed for a single run (ignored with --seeds)")
+    ce.add_argument("--seeds", type=int, nargs="+", default=None,
+                    help="sweep several seeds; nonzero exit on any FAIL")
+    ce.add_argument("--duration", type=float, default=600.0,
+                    help="simulated seconds per run (default 600)")
+    ce.add_argument("--controller-faults", type=int, default=2,
+                    help="controller crash/hang events injected against "
+                         "the supervised controller")
     return parser
 
 
@@ -275,8 +398,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list-ssds": _cmd_list_ssds,
         "cost-table": _cmd_cost_table,
         "run-host": _cmd_run_host,
+        "run": _cmd_run,
         "run-ab": _cmd_run_ab,
         "chaos": _cmd_chaos,
+        "crash-equivalence": _cmd_crash_equivalence,
     }
     return handlers[args.command](args)
 

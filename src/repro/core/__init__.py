@@ -9,17 +9,26 @@ fleet-rollout harness behind the Section 4.1 savings numbers.
 
 from repro.core.autotune import AutoTuneConfig, AutoTuneSenpai
 from repro.core.daemon import SenpaiDaemon, SenpaiDaemonConfig
-from repro.core.fleet import Fleet, FleetResult, HostPlan
+from repro.core.fleet import FailedHost, Fleet, FleetResult, HostPlan
 from repro.core.gswap import GSwapConfig, GSwapController
 from repro.core.oomd import Oomd, OomdConfig
 from repro.core.limits import LimitSenpai, LimitSenpaiConfig
 from repro.core.policy import reclaim_amount
 from repro.core.senpai import Senpai, SenpaiConfig
+from repro.core.supervisor import (
+    ControllerFaultState,
+    Supervisor,
+    SupervisorConfig,
+)
 from repro.core.write_regulation import WriteRegulator
 
 __all__ = [
+    "ControllerFaultState",
+    "Supervisor",
+    "SupervisorConfig",
     "AutoTuneConfig",
     "AutoTuneSenpai",
+    "FailedHost",
     "Fleet",
     "Oomd",
     "OomdConfig",

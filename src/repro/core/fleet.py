@@ -106,11 +106,31 @@ class HostReport:
         return (self.app_saved_bytes + self.tax_saved_bytes) / self.ram_bytes
 
 
+@dataclass(frozen=True)
+class FailedHost:
+    """One host that raised during a fleet rollout.
+
+    The rollout continues past it (one bad host must not abort a
+    fleet-wide experiment); the failure is recorded here and the
+    aggregates are flagged partial.
+    """
+
+    app: str
+    host_index: int
+    error: str
+
+
 @dataclass
 class FleetResult:
     """Aggregated savings across all hosts of a fleet run."""
 
     reports: List[HostReport] = field(default_factory=list)
+    failed_hosts: List[FailedHost] = field(default_factory=list)
+
+    @property
+    def partial(self) -> bool:
+        """Whether any host failed, making the aggregates partial."""
+        return bool(self.failed_hosts)
 
     def apps(self) -> List[str]:
         seen: List[str] = []
@@ -188,16 +208,26 @@ class Fleet:
         for plan in plans:
             profile = APP_CATALOG[plan.app]
             for index in range(plan.count):
-                host = self._build_host(plan, profile, index)
-                host.run(duration_s)
-                app_stats = cgroup_memory_savings(host.mm, "app")
-                tax_saved = 0.0
-                if plan.include_tax:
-                    for kind in TAX_PROFILES:
-                        slug = kind.lower().replace(" ", "-")
-                        tax_saved += cgroup_memory_savings(host.mm, slug)[
-                            "saved_bytes"
-                        ]
+                try:
+                    # Failure isolation: one host raising — OOM during
+                    # build, an invariant violation mid-run — must not
+                    # abort the rest of the rollout. The failure is
+                    # recorded and the aggregates are flagged partial.
+                    host = self._build_host(plan, profile, index)
+                    host.run(duration_s)
+                    app_stats = cgroup_memory_savings(host.mm, "app")
+                    tax_saved = 0.0
+                    if plan.include_tax:
+                        for kind in TAX_PROFILES:
+                            slug = kind.lower().replace(" ", "-")
+                            tax_saved += cgroup_memory_savings(
+                                host.mm, slug
+                            )["saved_bytes"]
+                except Exception as exc:
+                    result.failed_hosts.append(FailedHost(
+                        app=plan.app, host_index=index, error=repr(exc),
+                    ))
+                    continue
                 result.reports.append(
                     HostReport(
                         app=plan.app,

@@ -21,16 +21,32 @@ See docs/RESILIENCE.md for the fault taxonomy and the controller
 hardening this package exercises.
 """
 
-from repro.faults.chaos import ChaosConfig, ChaosReport, run_chaos
+from repro.faults.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    CrashEquivalenceReport,
+    run_chaos,
+    run_crash_equivalence,
+)
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+from repro.faults.plan import (
+    CONTROLLER_KINDS,
+    FAULT_KINDS,
+    GENERATED_KINDS,
+    FaultEvent,
+    FaultPlan,
+)
 
 __all__ = [
+    "CONTROLLER_KINDS",
     "FAULT_KINDS",
+    "GENERATED_KINDS",
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",
     "ChaosConfig",
     "ChaosReport",
+    "CrashEquivalenceReport",
     "run_chaos",
+    "run_crash_equivalence",
 ]

@@ -30,6 +30,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.oomd import Oomd, OomdConfig
 from repro.core.senpai import Senpai, SenpaiConfig
+from repro.core.supervisor import Supervisor, SupervisorConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import RECOVERY_TAIL_FRAC, FaultPlan
 from repro.sim.host import Host, HostConfig
@@ -56,6 +57,12 @@ class ChaosConfig:
     extra_events: int = 6
     #: Floor on tail/head throughput for a graceful-degradation verdict.
     min_rps_recovery: float = 0.5
+    #: Wrap Senpai in a :class:`~repro.core.supervisor.Supervisor`, so
+    #: ``controller_crash``/``controller_hang`` faults have a seam.
+    supervised: bool = False
+    #: Controller crash/hang events appended to the plan (these draws
+    #: never perturb the base schedule of a seed).
+    controller_faults: int = 0
 
 
 @dataclass
@@ -135,8 +142,13 @@ def _chaos_profile(config: ChaosConfig) -> AppProfile:
     )
 
 
-def build_chaos_host(config: ChaosConfig) -> Tuple[Host, FaultInjector, Senpai]:
-    """Assemble the chaos host: injector first, then the controllers."""
+def build_chaos_host(config: ChaosConfig) -> Tuple[Host, FaultInjector, object]:
+    """Assemble the chaos host: injector first, then the controllers.
+
+    Returns the host, the injector and the reclaim controller — a bare
+    :class:`Senpai`, or its :class:`Supervisor` wrapper when
+    ``config.supervised`` is set.
+    """
     host = Host(HostConfig(
         ram_gb=config.ram_gb,
         ncpu=config.ncpu,
@@ -150,16 +162,28 @@ def build_chaos_host(config: ChaosConfig) -> Tuple[Host, FaultInjector, Senpai]:
     plan = FaultPlan.generate(
         config.seed, config.duration_s, cgroups=("app",),
         extra_events=config.extra_events,
+        controller_faults=config.controller_faults,
     )
     injector = host.add_controller(FaultInjector(plan))
-    senpai = host.add_controller(Senpai(SenpaiConfig(
+    senpai = Senpai(SenpaiConfig(
         reclaim_ratio=0.005,
         max_step_frac=0.03,
         write_limit_mb_s=None,
         breaker_trip_polls=2,
         breaker_probe_s=30.0,
         stale_after_s=20.0,
-    )))
+    ))
+    if config.supervised:
+        # The returned handle is the supervisor; report readers unwrap
+        # its (possibly restarted) inner controller at read time.
+        senpai = host.add_controller(Supervisor(senpai, SupervisorConfig(
+            hang_timeout_s=20.0,
+            persist_interval_s=30.0,
+            restart_backoff_s=6.0,
+            restart_backoff_max_s=60.0,
+        )))
+    else:
+        host.add_controller(senpai)
     host.add_controller(Oomd(OomdConfig(
         full_threshold=0.8, sustain_s=60.0,
     )))
@@ -199,6 +223,8 @@ def run_chaos(config: ChaosConfig) -> ChaosReport:
 
     report.fault_counts = dict(injector.injected)
     report.injected_events = sum(injector.injected.values())
+    if isinstance(senpai, Supervisor):
+        senpai = senpai.controller
     report.breaker_opened = senpai.breaker_open_count > 0
     report.breaker_reclosed = senpai.breaker_reclose_count > 0
     report.senpai_stale_skips = senpai.stale_skips
@@ -217,6 +243,104 @@ def run_chaos(config: ChaosConfig) -> ChaosReport:
     report.oom_ticks = int(sum(oom.values))
     report.series_digest = metrics_digest(host.metrics)
     return report
+
+
+@dataclass
+class CrashEquivalenceReport:
+    """Outcome of one checkpoint → kill → restore → continue experiment.
+
+    The claim under test (docs/RESILIENCE.md, "Recovery"): restoring a
+    snapshot and continuing is indistinguishable — down to the SHA-256
+    of every metric series — from never having crashed.
+    """
+
+    seed: int
+    duration_s: float
+    checkpoint_at_s: float
+    #: Payload digest of the mid-run snapshot.
+    snapshot_digest: str = ""
+    #: Metric-series digest of the uninterrupted control run.
+    uninterrupted_digest: str = ""
+    #: Metric-series digest of the kill+restore run.
+    restored_digest: str = ""
+    supervisor_crashes: int = 0
+    supervisor_hang_kills: int = 0
+    supervisor_restarts: int = 0
+    #: Exception that escaped either run (repr), else None.
+    error: Optional[str] = None
+
+    @property
+    def equivalent(self) -> bool:
+        """Whether the two runs produced byte-identical metric series."""
+        return (
+            self.error is None
+            and self.uninterrupted_digest != ""
+            and self.uninterrupted_digest == self.restored_digest
+        )
+
+
+def run_crash_equivalence(config: ChaosConfig) -> CrashEquivalenceReport:
+    """Prove (or refute) crash equivalence for one seed.
+
+    Runs the scenario twice: once uninterrupted, and once killed at the
+    midpoint — the host serialized to text, discarded, re-parsed and
+    restored through the full envelope validation path — then continued
+    to the same end time. Never raises for in-run failures.
+    """
+    checkpoint_at_s = float(round(config.duration_s / 2.0))
+    report = CrashEquivalenceReport(
+        seed=config.seed,
+        duration_s=config.duration_s,
+        checkpoint_at_s=checkpoint_at_s,
+    )
+    try:
+        control, _, _ = build_chaos_host(config)
+        control.run(config.duration_s)
+        report.uninterrupted_digest = metrics_digest(control.metrics)
+
+        victim, _, _ = build_chaos_host(config)
+        victim.run(checkpoint_at_s)
+        envelope = victim.snapshot()
+        report.snapshot_digest = envelope["digest"]
+        # The kill: everything live is dropped; only the serialized
+        # text survives, exactly as a process death would leave it.
+        from repro.checkpoint.snapshot import dump_envelope, parse_document
+
+        text = dump_envelope(envelope)
+        del victim, envelope
+        restored = Host.restore(parse_document(text))
+        restored.run(config.duration_s - checkpoint_at_s)
+        report.restored_digest = metrics_digest(restored.metrics)
+
+        for controller in restored.controllers():
+            if isinstance(controller, Supervisor):
+                report.supervisor_crashes = controller.crash_count
+                report.supervisor_hang_kills = controller.hang_kill_count
+                report.supervisor_restarts = controller.restart_count
+    except Exception as exc:
+        report.error = repr(exc)
+    return report
+
+
+def format_crash_equivalence(report: CrashEquivalenceReport) -> str:
+    """Render one crash-equivalence report for the CLI."""
+    status = "PASS" if report.equivalent else "FAIL"
+    lines = [
+        f"crash-equivalence seed={report.seed}: {status}",
+        f"  kill+restore at t={report.checkpoint_at_s:.0f}s "
+        f"of {report.duration_s:.0f}s "
+        f"(snapshot {report.snapshot_digest[:16]})",
+        f"  uninterrupted: {report.uninterrupted_digest[:16]}",
+        f"  restored:      {report.restored_digest[:16]}",
+        f"  supervisor: crashes={report.supervisor_crashes} "
+        f"hang_kills={report.supervisor_hang_kills} "
+        f"restarts={report.supervisor_restarts}",
+    ]
+    if report.error is not None:
+        lines.append(f"  !! unhandled error: {report.error}")
+    elif not report.equivalent:
+        lines.append("  !! metric series diverged after restore")
+    return "\n".join(lines)
 
 
 def format_report(report: ChaosReport, config: ChaosConfig) -> str:

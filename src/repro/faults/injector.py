@@ -13,7 +13,10 @@ recomputes the public fault seams from the currently-active set:
 * ``malformed_pressure`` / ``controlfs_error`` →
   :class:`~repro.kernel.controlfs.ControlFsFaultState`;
 * ``restart`` / ``spike`` / ``wear`` → the host's public workload and
-  wear hooks.
+  wear hooks;
+* ``controller_crash`` / ``controller_hang`` →
+  :class:`~repro.core.supervisor.ControllerFaultState` on supervised
+  controllers.
 
 Every edge is recorded on the host metrics as ``faults/<kind>``
 (1.0 on activation, 0.0 on deactivation) and the number of active
@@ -54,6 +57,21 @@ def _device_fault_states(backend) -> List:
     return states
 
 
+def _controller_fault_states(host) -> List:
+    """All ControllerFaultState seams among the host's controllers.
+
+    Supervised controllers expose a ``faults`` seam with a ``hung``
+    flag (see :class:`~repro.core.supervisor.ControllerFaultState`);
+    unsupervised ones have no seam and cannot be crash/hang targets.
+    """
+    states = []
+    for controller in host.controllers():
+        faults = getattr(controller, "faults", None)
+        if faults is not None and hasattr(faults, "hung"):
+            states.append(faults)
+    return states
+
+
 class FaultInjector:
     """Applies a fault plan to a running host; a controller."""
 
@@ -89,6 +107,13 @@ class FaultInjector:
             else:
                 self.skipped += 1
                 return
+        elif ev.kind == "controller_crash":
+            seams = _controller_fault_states(host)
+            if not seams:
+                self.skipped += 1
+                return
+            for seam in seams:
+                seam.crash_pending = True
         else:  # wear
             applied = False
             for node in (host.swap_backend,
@@ -121,6 +146,11 @@ class FaultInjector:
             state.clear()
         controlfs = host.controlfs
         controlfs.faults.clear()
+        controller_states = _controller_fault_states(host)
+        for state in controller_states:
+            # clear() resets only the window-driven hang flag; a
+            # crash_pending set by an instant in this same poll survives.
+            state.clear()
         freeze = False
 
         for ev in active:
@@ -142,6 +172,9 @@ class FaultInjector:
             elif ev.kind == "controlfs_error":
                 controlfs.faults.error_on_read = True
                 controlfs.faults.error_on_write = True
+            elif ev.kind == "controller_hang":
+                for state in controller_states:
+                    state.hung = True
 
         if freeze:
             host.psi.freeze_telemetry(now)

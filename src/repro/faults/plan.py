@@ -21,6 +21,10 @@ Fault taxonomy (``kind`` values; see docs/RESILIENCE.md):
 ``restart``               instantaneous container restart
 ``spike``                 instantaneous footprint spike (``severity`` is the
                           growth fraction)
+``controller_crash``      instantaneous controller death (the supervisor
+                          restarts it from persisted state)
+``controller_hang``       the controller stops making progress for the
+                          window (heartbeats stall)
 ========================  =====================================================
 """
 
@@ -31,8 +35,10 @@ from typing import Tuple
 
 from repro.sim.rng import derive_rng
 
-#: Every fault kind a plan may schedule.
-FAULT_KINDS: Tuple[str, ...] = (
+#: The kinds ``generate`` draws from in its base loop. Kept separate
+#: from :data:`FAULT_KINDS` so adding new kinds (drawn by dedicated
+#: parameters) does not perturb the byte-exact plans of existing seeds.
+GENERATED_KINDS: Tuple[str, ...] = (
     "io_error",
     "brownout",
     "outage",
@@ -44,8 +50,15 @@ FAULT_KINDS: Tuple[str, ...] = (
     "spike",
 )
 
+#: Kinds that hit a supervised controller (``target`` is ``"controller"``).
+CONTROLLER_KINDS: Tuple[str, ...] = ("controller_crash", "controller_hang")
+
+#: Every fault kind a plan may schedule.
+FAULT_KINDS: Tuple[str, ...] = GENERATED_KINDS + CONTROLLER_KINDS
+
 #: Kinds that fire once at ``start_s`` rather than holding for a window.
-INSTANT_KINDS: Tuple[str, ...] = ("wear", "restart", "spike")
+INSTANT_KINDS: Tuple[str, ...] = ("wear", "restart", "spike",
+                                  "controller_crash")
 
 #: Kinds that target a device (``target`` is ``"swap"`` or ``"fs"``).
 DEVICE_KINDS: Tuple[str, ...] = ("io_error", "brownout", "outage")
@@ -127,12 +140,16 @@ class FaultPlan:
         duration_s: float,
         cgroups: Tuple[str, ...] = ("app",),
         extra_events: int = 6,
+        controller_faults: int = 0,
     ) -> "FaultPlan":
         """Generate the schedule for ``seed``.
 
         Deterministic: all randomness comes from
         ``derive_rng(seed, "faults:plan")`` and is drawn in a fixed
-        order, so identical arguments yield an identical plan.
+        order, so identical arguments yield an identical plan. The
+        ``controller_faults`` draws happen strictly after the base
+        draws, so plans generated with the default ``0`` are
+        byte-identical to plans from before the parameter existed.
 
         Two structural guarantees hold for every seed:
 
@@ -165,7 +182,7 @@ class FaultPlan:
         ))
 
         for _ in range(extra_events):
-            kind = FAULT_KINDS[int(rng.integers(0, len(FAULT_KINDS)))]
+            kind = GENERATED_KINDS[int(rng.integers(0, len(GENERATED_KINDS)))]
             if kind in DEVICE_KINDS:
                 target = "swap" if rng.random() < 0.5 else "fs"
             elif kind in ("restart", "spike"):
@@ -193,6 +210,24 @@ class FaultPlan:
             events.append(FaultEvent(
                 kind=kind, target=target, start_s=start_s,
                 duration_s=window_s, severity=severity,
+            ))
+
+        # Controller faults (crash/hang against the supervisor seam) are
+        # drawn after every base draw so they extend a seed's plan
+        # without rewriting it.
+        for _ in range(controller_faults):
+            kind = CONTROLLER_KINDS[
+                int(rng.integers(0, len(CONTROLLER_KINDS)))
+            ]
+            start_s = float(rng.uniform(0.05, 0.65) * duration_s)
+            if kind in INSTANT_KINDS:
+                window_s = 0.0
+            else:
+                window_s = float(rng.uniform(10.0, 60.0))
+                window_s = min(window_s, max(1.0, tail_start_s - start_s))
+            events.append(FaultEvent(
+                kind=kind, target="controller", start_s=start_s,
+                duration_s=window_s, severity=1.0,
             ))
 
         events.sort(key=lambda ev: (ev.start_s, ev.kind, ev.target))

@@ -24,12 +24,14 @@ SCOPE_OTHER = "other"
 _ALL_RULES = frozenset(
     {"TMO001", "TMO002", "TMO003", "TMO004",
      "TMO005", "TMO006", "TMO007", "TMO008",
-     "TMO009", "TMO010", "TMO011", "TMO012"}
+     "TMO009", "TMO010", "TMO011", "TMO012",
+     "TMO013"}
 )
 
 #: Rules enforced outside the simulator core: seed discipline and
-#: hygiene, but not the public-API unit conventions (TMO004) or the
-#: sim-time comparison rule (TMO006), which target ``src/repro``.
+#: hygiene, but not the public-API unit conventions (TMO004), the
+#: sim-time comparison rule (TMO006) or the serialization-format rule
+#: (TMO013), which target ``src/repro``.
 #: The whole-program flow rules (TMO009-TMO012) apply everywhere:
 #: unit bugs in benchmarks corrupt results just as surely as unit
 #: bugs in the simulator.

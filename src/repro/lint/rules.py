@@ -676,3 +676,52 @@ class ExceptionSwallowRule(LintRule):
                     f"except {type_name}: pass swallows every error "
                     "silently; handle or at least record the failure",
                 )
+
+
+# ----------------------------------------------------------------------
+# TMO013 — no pickle/marshal serialization
+
+
+@register
+class OpaqueSerializationRule(LintRule):
+    """State must serialize through the versioned snapshot format.
+
+    ``pickle``/``marshal`` documents are neither versioned nor
+    canonical: their bytes drift across interpreter versions, they
+    silently skew when a class changes shape, and unpickling executes
+    arbitrary code. Everything :mod:`repro.checkpoint` guarantees —
+    schema-version refusal, digest integrity, bit-reproducible
+    restores — an opaque binary blob cannot.
+    """
+
+    rule_id = "TMO013"
+    name = "no-opaque-serialization"
+    summary = "pickle/marshal serialization (non-versioned, opaque)"
+
+    #: The opaque-serialization stdlib surface: pickle and its
+    #: implementation aliases, marshal, and the pickle-backed shelve.
+    _BANNED = frozenset({"pickle", "cPickle", "_pickle", "marshal",
+                         "shelve"})
+
+    def _message(self, module: str) -> str:
+        return (
+            f"{module} is non-versioned, non-deterministic "
+            "serialization; snapshot state through repro.checkpoint's "
+            "versioned, digest-checked format instead"
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._BANNED:
+                        yield self.violation(
+                            ctx, node, self._message(alias.name)
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if node.level == 0 and root in self._BANNED:
+                    yield self.violation(
+                        ctx, node, self._message(node.module)
+                    )

@@ -278,6 +278,41 @@ class Host:
         self._controllers.append(controller)
         return controller
 
+    def controllers(self) -> List[Controller]:
+        """The attached controllers, in polling order.
+
+        The public view — the fault injector uses it to find controller
+        fault seams, and the checkpoint layer to encode controller
+        state, without reaching into host internals.
+        """
+        return list(self._controllers)
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore (repro.checkpoint)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Snapshot the full host state into a versioned envelope.
+
+        The envelope is a JSON-clean dict (schema version, SHA-256
+        payload digest, payload); see :mod:`repro.checkpoint`. A host
+        restored from it continues bit-identically to this one.
+        """
+        from repro.checkpoint import snapshot_host
+
+        return snapshot_host(self)
+
+    @classmethod
+    def restore(cls, envelope: Dict[str, object]) -> "Host":
+        """Rebuild a host from a :meth:`snapshot` envelope.
+
+        Raises :class:`repro.checkpoint.SnapshotError` on a schema
+        version mismatch, digest mismatch, or malformed document —
+        before any construction, never yielding a half-restored host.
+        """
+        from repro.checkpoint import restore_host
+
+        return restore_host(envelope)
+
     def workload(self, name: str) -> Workload:
         return self._hosted[name].workload
 

@@ -1,0 +1,12 @@
+"""Fixture: TMO013 violations — opaque serialization."""
+
+import pickle
+import marshal
+from pickle import dumps
+import shelve
+
+
+def save(state, path):
+    with open(path, "wb") as fh:
+        fh.write(dumps(state))
+    return pickle, marshal, shelve

@@ -1,0 +1,8 @@
+"""Fixture: sanctioned serialization — versioned canonical JSON."""
+
+import json
+
+
+def save(state, path):
+    with open(path, "w") as fh:
+        json.dump(state, fh, sort_keys=True)

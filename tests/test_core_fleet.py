@@ -130,3 +130,33 @@ def test_fleet_determinism():
     r1 = small_fleet().run(plans, duration_s=300.0)
     r2 = small_fleet().run(plans, duration_s=300.0)
     assert r1.reports[0].app_saved_bytes == r2.reports[0].app_saved_bytes
+
+
+def test_fleet_isolates_a_failed_host():
+    fleet = small_fleet()
+    plans = [
+        HostPlan(app="Feed", count=2, size_scale=0.01,
+                 include_tax=False),
+        # An invalid backend makes this host's build raise; the
+        # rollout must record it and carry on.
+        HostPlan(app="Cache B", count=1, size_scale=0.01,
+                 include_tax=False, backend="bogus"),
+    ]
+    result = fleet.run(plans, duration_s=120.0)
+    assert len(result.reports) == 2
+    assert result.apps() == ["Feed"]
+    assert result.partial is True
+    assert len(result.failed_hosts) == 1
+    failed = result.failed_hosts[0]
+    assert failed.app == "Cache B"
+    assert failed.host_index == 0
+    assert "bogus" in failed.error
+
+
+def test_fleet_without_failures_is_not_partial():
+    fleet = small_fleet()
+    plans = [HostPlan(app="Feed", count=1, size_scale=0.01,
+                      include_tax=False)]
+    result = fleet.run(plans, duration_s=60.0)
+    assert result.partial is False
+    assert result.failed_hosts == []

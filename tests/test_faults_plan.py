@@ -3,8 +3,10 @@
 import pytest
 
 from repro.faults.plan import (
+    CONTROLLER_KINDS,
     DEVICE_KINDS,
     FAULT_KINDS,
+    GENERATED_KINDS,
     INSTANT_KINDS,
     RECOVERY_TAIL_FRAC,
     FaultEvent,
@@ -100,6 +102,35 @@ def test_all_kinds_are_generable():
     """With enough extra events, every fault kind eventually appears."""
     seen = set()
     for seed in range(30):
-        plan = FaultPlan.generate(seed, 900.0, extra_events=10)
+        plan = FaultPlan.generate(seed, 900.0, extra_events=10,
+                                  controller_faults=2)
         seen.update(ev.kind for ev in plan.events)
     assert seen == set(FAULT_KINDS)
+
+
+def test_controller_faults_extend_without_rewriting_the_base_plan():
+    """The controller draws come after every base draw, so a seed's
+    base schedule is byte-identical with and without them."""
+    for seed in (1, 2, 3):
+        base = FaultPlan.generate(seed, 900.0)
+        extended = FaultPlan.generate(seed, 900.0, controller_faults=3)
+        controller_events = [
+            ev for ev in extended.events if ev.target == "controller"
+        ]
+        assert len(controller_events) == 3
+        assert tuple(
+            ev for ev in extended.events if ev.target != "controller"
+        ) == base.events
+        for ev in controller_events:
+            assert ev.kind in CONTROLLER_KINDS
+            assert ev.severity == 1.0
+            if ev.kind == "controller_crash":
+                assert ev.instant and ev.duration_s == 0.0
+            else:
+                assert not ev.instant and ev.duration_s > 0.0
+
+
+def test_generated_kinds_split_is_consistent():
+    assert set(GENERATED_KINDS) | set(CONTROLLER_KINDS) == set(FAULT_KINDS)
+    assert not set(GENERATED_KINDS) & set(CONTROLLER_KINDS)
+    assert "controller_crash" in INSTANT_KINDS

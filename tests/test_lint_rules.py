@@ -27,6 +27,7 @@ EXPECTED_BAD_LINES = {
     "TMO006": [5, 7, 11],
     "TMO007": [11],
     "TMO008": [7, 14],
+    "TMO013": [3, 4, 5, 6],
 }
 
 
