@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test chaos crash-equivalence bench bench-tables examples docs lint all
+.PHONY: install test chaos crash-equivalence bench bench-quick bench-pytest bench-tables examples docs lint all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,9 +16,10 @@ chaos:
 	TMO_CHECK_INVARIANTS=1 $(PYTHON) -m repro chaos --seeds 1 2 3 4 5
 
 # Checkpoint -> kill -> restore -> continue must be digest-identical
-# to never having crashed (docs/RESILIENCE.md, "Recovery").
+# to never having crashed (docs/RESILIENCE.md, "Recovery"). The seed
+# sweep fans out over worker processes; equivalence must hold there too.
 crash-equivalence:
-	TMO_CHECK_INVARIANTS=1 $(PYTHON) -m repro crash-equivalence --seeds 1 2 3
+	TMO_CHECK_INVARIANTS=1 $(PYTHON) -m repro crash-equivalence --seeds 1 2 3 --workers 3
 
 # ruff and mypy run only when installed (they are optional, see
 # [project.optional-dependencies].lint); repro.lint always runs and
@@ -37,7 +38,18 @@ lint:
 	@echo "== repro.lint"
 	$(PYTHON) -m repro.lint --flow
 
+# The benchmark harness (docs/PERFORMANCE.md): run the scenario
+# matrix, write BENCH_5.json and gate against the committed baseline's
+# normalized scores (>20% drop fails).
 bench:
+	$(PYTHON) -m repro bench --out BENCH_5.json --check benchmarks/BENCH_baseline.json
+
+# Smoke variant for quick local runs; too noisy to gate or commit.
+bench-quick:
+	$(PYTHON) -m repro bench --quick --out BENCH_5.json
+
+# The pytest-benchmark microbenches (figure tables + timings).
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Print every figure/table the benches regenerate (no timing).
@@ -50,4 +62,4 @@ examples:
 docs:
 	$(PYTHON) docs/gen_api.py
 
-all: install test bench
+all: install test lint bench

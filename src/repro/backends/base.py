@@ -10,6 +10,9 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 
 class IoKind(enum.Enum):
@@ -62,25 +65,49 @@ class LatencyReservoir:
         if capacity_entries < 1:
             raise ValueError("reservoir capacity must be >= 1")
         self.capacity_entries = capacity_entries
-        self._samples: list = []
+        self._buf = np.empty(capacity_entries, dtype=np.float64)
+        self._count = 0
         self._next = 0
 
     def add(self, latency_s: float) -> None:
-        if len(self._samples) < self.capacity_entries:
-            self._samples.append(latency_s)
+        if self._count < self.capacity_entries:
+            self._buf[self._count] = latency_s
+            self._count += 1
         else:
-            self._samples[self._next] = latency_s
+            self._buf[self._next] = latency_s
             self._next = (self._next + 1) % self.capacity_entries
 
     def percentile(self, q: float) -> float:
-        if not self._samples:
+        """The ``q``-th percentile as an exact order statistic.
+
+        Uses an O(n) selection (``np.partition``) instead of sorting the
+        window; returns the same sample ``sorted(samples)[idx]`` would.
+        """
+        n = self._count
+        if n == 0:
             return 0.0
-        ordered = sorted(self._samples)
-        idx = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[idx]
+        idx = min(n - 1, int(round(q / 100.0 * (n - 1))))
+        return float(np.partition(self._buf[:n], idx)[idx])
+
+    def samples(self) -> list:
+        """The current window's samples as a list (insertion order)."""
+        return self._buf[: self._count].tolist()
+
+    def set_samples(self, samples: Sequence[float], next_slot: int) -> None:
+        """Restore the window contents (checkpoint codec seam)."""
+        n = len(samples)
+        if n > self.capacity_entries:
+            raise ValueError(
+                f"{n} samples exceed reservoir capacity "
+                f"{self.capacity_entries}"
+            )
+        self._buf = np.empty(self.capacity_entries, dtype=np.float64)
+        self._buf[:n] = samples
+        self._count = n
+        self._next = int(next_slot)
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._count
 
 
 class OffloadBackend(abc.ABC):

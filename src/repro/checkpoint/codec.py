@@ -33,7 +33,7 @@ from repro.kernel.page import Page, PageKind, PageState
 from repro.psi.avgs import RunningAverages
 from repro.psi.group import PsiGroup
 from repro.psi.trigger import PsiTrigger, TriggerSpec
-from repro.psi.types import Resource, TaskFlags
+from repro.psi.types import RESOURCE_INDEX, RESOURCE_ORDER, Resource, TaskFlags
 from repro.sim.metrics import Series
 from repro.workloads.apps import AppProfile
 from repro.workloads.base import Workload
@@ -80,15 +80,16 @@ def apply_rng(rng: np.random.Generator, state: Dict[str, Any]) -> None:
 def _encode_latencies(reservoir) -> Dict[str, Any]:
     return {
         "capacity_entries": int(reservoir.capacity_entries),
-        "samples": [float(s) for s in reservoir._samples],
+        "samples": [float(s) for s in reservoir.samples()],
         "next": int(reservoir._next),
     }
 
 
 def _apply_latencies(reservoir, enc: Dict[str, Any]) -> None:
     reservoir.capacity_entries = int(enc["capacity_entries"])
-    reservoir._samples = [float(s) for s in enc["samples"]]
-    reservoir._next = int(enc["next"])
+    reservoir.set_samples(
+        [float(s) for s in enc["samples"]], int(enc["next"])
+    )
 
 
 def _encode_stats(stats) -> Dict[str, Any]:
@@ -431,10 +432,12 @@ def _encode_psi_group(group: PsiGroup) -> Dict[str, Any]:
         "name": group.name,
         "parent": group.parent.name if group.parent is not None else None,
         "nr_stalled": [
-            [r.value, int(n)] for r, n in group.nr_stalled.items()
+            [r.value, int(n)]
+            for r, n in zip(RESOURCE_ORDER, group.nr_stalled)
         ],
         "nr_productive": [
-            [r.value, int(n)] for r, n in group.nr_productive.items()
+            [r.value, int(n)]
+            for r, n in zip(RESOURCE_ORDER, group.nr_productive)
         ],
         "nr_nonidle": int(group.nr_nonidle),
         "totals": [
@@ -449,9 +452,9 @@ def _encode_psi_group(group: PsiGroup) -> Dict[str, Any]:
 
 def _apply_psi_group(group: PsiGroup, enc: Dict[str, Any]) -> None:
     for r_value, n in enc["nr_stalled"]:
-        group.nr_stalled[Resource(r_value)] = int(n)
+        group.nr_stalled[RESOURCE_INDEX[Resource(r_value)]] = int(n)
     for r_value, n in enc["nr_productive"]:
-        group.nr_productive[Resource(r_value)] = int(n)
+        group.nr_productive[RESOURCE_INDEX[Resource(r_value)]] = int(n)
     group.nr_nonidle = int(enc["nr_nonidle"])
     for r_value, kind, value in enc["totals"]:
         group.totals[(Resource(r_value), kind)] = float(value)

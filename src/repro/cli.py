@@ -13,7 +13,11 @@ Commands:
 * ``chaos`` — seeded fault-injection runs under invariant checking
   (see docs/RESILIENCE.md).
 * ``crash-equivalence`` — prove checkpoint → kill → restore → continue
-  matches the uninterrupted run digest-for-digest.
+  matches the uninterrupted run digest-for-digest (``--workers`` farms a
+  seed sweep over processes).
+* ``bench`` — the benchmark harness: run the scenario matrix, write a
+  machine-readable ``BENCH_5.json`` and optionally gate against a
+  committed baseline (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -242,15 +246,26 @@ def _cmd_crash_equivalence(args) -> int:
     )
 
     seeds = args.seeds if args.seeds else [args.seed]
-    failures = 0
-    for seed in seeds:
-        config = ChaosConfig(
+    configs = [
+        ChaosConfig(
             seed=seed,
             duration_s=args.duration,
             supervised=True,
             controller_faults=args.controller_faults,
         )
-        report = run_crash_equivalence(config)
+        for seed in seeds
+    ]
+    if args.workers and args.workers > 1 and len(configs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=min(args.workers, len(configs))
+        ) as pool:
+            reports = list(pool.map(run_crash_equivalence, configs))
+    else:
+        reports = [run_crash_equivalence(config) for config in configs]
+    failures = 0
+    for report in reports:
         print(format_crash_equivalence(report))
         if not report.equivalent:
             failures += 1
@@ -259,6 +274,45 @@ def _cmd_crash_equivalence(args) -> int:
               file=sys.stderr)
         return 1
     print(f"all {len(seeds)} crash-equivalence runs passed")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.perf import (
+        BENCH_SEED,
+        DEFAULT_TOLERANCE,
+        check_regression,
+        format_report,
+        load_report,
+        run_bench,
+        write_report,
+    )
+
+    seed = BENCH_SEED if args.seed is None else args.seed
+    tolerance = (
+        DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    )
+    mode = "quick" if args.quick else "full"
+    print(f"running {mode} benchmark matrix (seed {seed}, "
+          f"workers {args.workers}) ...")
+    report = run_bench(seed=seed, quick=args.quick, workers=args.workers)
+    write_report(report, args.out)
+    print(format_report(report))
+    print(f"report written to {args.out}")
+    if args.check is not None:
+        try:
+            baseline = load_report(args.check)
+        except (OSError, ValueError) as exc:
+            print(f"cannot use baseline {args.check!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = check_regression(report, baseline, tolerance=tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed vs {args.check} "
+              f"(tolerance {100 * tolerance:.0f}%)")
     return 0
 
 
@@ -388,6 +442,33 @@ def build_parser() -> argparse.ArgumentParser:
     ce.add_argument("--controller-faults", type=int, default=2,
                     help="controller crash/hang events injected against "
                          "the supervised controller")
+    ce.add_argument("--workers", type=int, default=1,
+                    help="run a --seeds sweep across this many worker "
+                         "processes (default 1: serial)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the benchmark matrix; write BENCH_5.json and "
+             "optionally gate against a baseline",
+    )
+    bench.add_argument("--out", default="BENCH_5.json",
+                       help="where the report is written "
+                            "(default BENCH_5.json)")
+    bench.add_argument("--check", default=None, metavar="BASELINE",
+                       help="compare against this baseline report and "
+                            "exit nonzero on regression")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="allowed relative drop of a normalized "
+                            "score vs. baseline (default 0.20)")
+    bench.add_argument("--quick", action="store_true",
+                       help="shrink every scenario (smoke runs; too "
+                            "noisy to commit as a baseline)")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="scenario seed (default: the canonical "
+                            "bench seed)")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="worker processes for the parallel fleet "
+                            "scenario (default 4)")
     return parser
 
 
@@ -402,6 +483,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run-ab": _cmd_run_ab,
         "chaos": _cmd_chaos,
         "crash-equivalence": _cmd_crash_equivalence,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -10,12 +10,14 @@ fleet-level savings.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.senpai import Senpai, SenpaiConfig
 from repro.kernel.mm import MemoryManager
 from repro.sim.host import Host, HostConfig
+from repro.sim.metrics import metrics_digest
 from repro.sim.rng import derive_seed
 from repro.workloads.apps import APP_CATALOG, AppProfile
 from repro.workloads.base import Workload
@@ -87,6 +89,15 @@ class HostReport:
     app_baseline_bytes: float
     app_saved_bytes: float
     tax_saved_bytes: float
+    #: SHA-256 over the host's full metric recorder (see
+    #: :func:`repro.sim.metrics.metrics_digest`): the parallel-vs-serial
+    #: equivalence token. Identical seeds must yield identical digests
+    #: regardless of worker count.
+    metrics_digest: str = ""
+    #: Pages reclaimed on this host over the run (sum of per-cgroup
+    #: ``pgsteal``); the benchmark harness reports fleet reclaim rates
+    #: from this.
+    pgsteal: int = 0
 
     @property
     def app_savings_frac(self) -> float:
@@ -156,6 +167,92 @@ class FleetResult:
         )
 
 
+def build_fleet_host(
+    base_config: HostConfig, fleet_seed: int, plan: HostPlan, index: int
+) -> Host:
+    """Construct one planned fleet host with its derived seed.
+
+    Module-level (not a :class:`Fleet` method) so worker processes can
+    rebuild hosts from nothing but the picklable plan dataclasses.
+    """
+    profile = APP_CATALOG[plan.app]
+    backend = plan.backend or profile.preferred_backend
+    config = replace(
+        base_config,
+        backend=backend,
+        seed=derive_seed(fleet_seed, f"host:{plan.app}:{index}"),
+    )
+    host = Host(config)
+    if profile.name == "Web":
+        host.add_workload(
+            WebWorkload, name="app", size_scale=plan.size_scale
+        )
+    else:
+        host.add_workload(
+            Workload, profile=profile, name="app",
+            size_scale=plan.size_scale,
+        )
+    if plan.include_tax:
+        # Tax profiles are sized per 64 GB host; rescale to this host.
+        tax_scale = (
+            config.ram_bytes / (64.0 * _GB)
+        )
+        for kind in TAX_PROFILES:
+            slug = kind.lower().replace(" ", "-")
+            host.add_workload(
+                TaxWorkload, name=slug, kind=kind,
+                size_scale=tax_scale,
+            )
+    host.add_controller(Senpai(plan.senpai))
+    return host
+
+
+def _run_fleet_host(
+    base_config: HostConfig,
+    fleet_seed: int,
+    plan: HostPlan,
+    index: int,
+    duration_s: float,
+) -> Union[HostReport, FailedHost]:
+    """Build, run and measure one fleet host; never raises.
+
+    The single unit of work shared by the serial and parallel paths, so
+    a host's outcome — savings, digest, or failure record — cannot
+    depend on which path executed it. Failure isolation: one host
+    raising (OOM during build, an invariant violation mid-run) must not
+    abort the rest of the rollout.
+    """
+    profile = APP_CATALOG[plan.app]
+    try:
+        host = build_fleet_host(base_config, fleet_seed, plan, index)
+        host.run(duration_s)
+        app_stats = cgroup_memory_savings(host.mm, "app")
+        tax_saved = 0.0
+        if plan.include_tax:
+            for kind in TAX_PROFILES:
+                slug = kind.lower().replace(" ", "-")
+                tax_saved += cgroup_memory_savings(
+                    host.mm, slug
+                )["saved_bytes"]
+        return HostReport(
+            app=plan.app,
+            backend=plan.backend or profile.preferred_backend,
+            host_index=index,
+            ram_bytes=host.config.ram_bytes,
+            app_baseline_bytes=app_stats["baseline_bytes"],
+            app_saved_bytes=app_stats["saved_bytes"],
+            tax_saved_bytes=tax_saved,
+            metrics_digest=metrics_digest(host.metrics),
+            pgsteal=sum(
+                cg.vmstat.pgsteal for cg in host.mm.cgroups()
+            ),
+        )
+    except Exception as exc:
+        return FailedHost(
+            app=plan.app, host_index=index, error=repr(exc),
+        )
+
+
 class Fleet:
     """Runs a set of :class:`HostPlan` slices and aggregates savings."""
 
@@ -170,73 +267,84 @@ class Fleet:
     def _build_host(
         self, plan: HostPlan, profile: AppProfile, index: int
     ) -> Host:
-        backend = plan.backend or profile.preferred_backend
-        config = replace(
-            self.base_config,
-            backend=backend,
-            seed=derive_seed(self.seed, f"host:{plan.app}:{index}"),
-        )
-        host = Host(config)
-        if profile.name == "Web":
-            host.add_workload(
-                WebWorkload, name="app", size_scale=plan.size_scale
-            )
-        else:
-            host.add_workload(
-                Workload, profile=profile, name="app",
-                size_scale=plan.size_scale,
-            )
-        if plan.include_tax:
-            # Tax profiles are sized per 64 GB host; rescale to this host.
-            tax_scale = (
-                config.ram_bytes / (64.0 * _GB)
-            )
-            for kind in TAX_PROFILES:
-                slug = kind.lower().replace(" ", "-")
-                host.add_workload(
-                    TaxWorkload, name=slug, kind=kind,
-                    size_scale=tax_scale,
-                )
-        host.add_controller(Senpai(plan.senpai))
-        return host
+        return build_fleet_host(self.base_config, self.seed, plan, index)
+
+    def _tasks(
+        self, plans: Sequence[HostPlan]
+    ) -> List[Tuple[HostPlan, int]]:
+        """Every (plan, host index) pair, in canonical rollout order."""
+        return [
+            (plan, index)
+            for plan in plans
+            for index in range(plan.count)
+        ]
 
     def run(
-        self, plans: Sequence[HostPlan], duration_s: float
+        self,
+        plans: Sequence[HostPlan],
+        duration_s: float,
+        workers: Optional[int] = None,
     ) -> FleetResult:
-        """Execute every planned host for ``duration_s`` of virtual time."""
+        """Execute every planned host for ``duration_s`` of virtual time.
+
+        With ``workers`` > 1 the hosts fan out over a process pool.
+        Hosts are fully independent — every host's RNG streams derive
+        from ``derive_seed(fleet_seed, "host:<app>:<index>")``, never
+        from shared state — and outcomes are merged back in canonical
+        rollout order, so a parallel run's reports, failures and metric
+        digests are identical to the serial run's, bit for bit. A worker
+        process dying mid-host (not just raising) is contained the same
+        way a host exception is: the affected hosts become
+        :class:`FailedHost` records and the rollout stays partial
+        rather than raising.
+        """
+        tasks = self._tasks(plans)
+        if workers is None or workers <= 1:
+            outcomes = [
+                _run_fleet_host(
+                    self.base_config, self.seed, plan, index, duration_s
+                )
+                for plan, index in tasks
+            ]
+        else:
+            outcomes = self._run_parallel(tasks, duration_s, workers)
+
         result = FleetResult()
-        for plan in plans:
-            profile = APP_CATALOG[plan.app]
-            for index in range(plan.count):
+        for (plan, index), outcome in zip(tasks, outcomes):
+            if isinstance(outcome, FailedHost):
+                result.failed_hosts.append(outcome)
+            else:
+                result.reports.append(outcome)
+        return result
+
+    def _run_parallel(
+        self,
+        tasks: Sequence[Tuple[HostPlan, int]],
+        duration_s: float,
+        workers: int,
+    ) -> List[Union[HostReport, FailedHost]]:
+        """Fan tasks over a process pool, one future per host.
+
+        ``_run_fleet_host`` already converts in-host exceptions to
+        :class:`FailedHost` inside the worker; a future that *itself*
+        raises means the worker process died (or its result could not
+        come back) — e.g. ``BrokenProcessPool`` after a hard crash —
+        and is mapped to a :class:`FailedHost` for that host here.
+        """
+        outcomes: List[Union[HostReport, FailedHost]] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_fleet_host,
+                    self.base_config, self.seed, plan, index, duration_s,
+                )
+                for plan, index in tasks
+            ]
+            for (plan, index), future in zip(tasks, futures):
                 try:
-                    # Failure isolation: one host raising — OOM during
-                    # build, an invariant violation mid-run — must not
-                    # abort the rest of the rollout. The failure is
-                    # recorded and the aggregates are flagged partial.
-                    host = self._build_host(plan, profile, index)
-                    host.run(duration_s)
-                    app_stats = cgroup_memory_savings(host.mm, "app")
-                    tax_saved = 0.0
-                    if plan.include_tax:
-                        for kind in TAX_PROFILES:
-                            slug = kind.lower().replace(" ", "-")
-                            tax_saved += cgroup_memory_savings(
-                                host.mm, slug
-                            )["saved_bytes"]
+                    outcomes.append(future.result())
                 except Exception as exc:
-                    result.failed_hosts.append(FailedHost(
+                    outcomes.append(FailedHost(
                         app=plan.app, host_index=index, error=repr(exc),
                     ))
-                    continue
-                result.reports.append(
-                    HostReport(
-                        app=plan.app,
-                        backend=plan.backend or profile.preferred_backend,
-                        host_index=index,
-                        ram_bytes=host.config.ram_bytes,
-                        app_baseline_bytes=app_stats["baseline_bytes"],
-                        app_saved_bytes=app_stats["saved_bytes"],
-                        tax_saved_bytes=tax_saved,
-                    )
-                )
-        return result
+        return outcomes

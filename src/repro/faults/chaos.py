@@ -24,7 +24,6 @@ CLI: ``python -m repro chaos --seed N`` (see :mod:`repro.cli`).
 from __future__ import annotations
 
 import hashlib
-import struct
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -34,6 +33,9 @@ from repro.core.supervisor import Supervisor, SupervisorConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import RECOVERY_TAIL_FRAC, FaultPlan
 from repro.sim.host import Host, HostConfig
+# Re-exported: the digest implementation lives next to the recorder it
+# hashes, but chaos callers historically import it from here.
+from repro.sim.metrics import metrics_digest  # noqa: F401
 from repro.workloads.access import HeatBands
 from repro.workloads.apps import AppProfile
 from repro.workloads.base import Workload
@@ -190,20 +192,6 @@ def build_chaos_host(config: ChaosConfig) -> Tuple[Host, FaultInjector, object]:
     return host, injector, senpai
 
 
-def metrics_digest(metrics) -> str:
-    """SHA-256 over every series' name, times and values, in name order.
-
-    Bit-level: floats are packed as IEEE doubles, so two digests match
-    only when every sample of every series is byte-identical.
-    """
-    sha = hashlib.sha256()
-    for name in sorted(metrics.names()):
-        series = metrics.series(name)
-        sha.update(name.encode())
-        sha.update(struct.pack("<q", len(series)))
-        for t, v in zip(series.times, series.values):
-            sha.update(struct.pack("<dd", t, v))
-    return sha.hexdigest()
 
 
 def run_chaos(config: ChaosConfig) -> ChaosReport:

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.kernel.mm import MemoryManager
 
 #: CPU seconds to test-and-clear one page's idle bit.
@@ -74,6 +76,32 @@ class IdlePageTracker:
         self.scan_cpu_seconds = 0.0
         self.pages_scanned = 0
 
+    def _resident_ages(self, cgroup_name: str, now: float) -> np.ndarray:
+        """Idle ages of the cgroup's resident pages, in LRU-list order.
+
+        The cgroup's active/inactive lists hold exactly its resident
+        pages, so one pass over them replaces the old filter over every
+        page the memory manager has ever allocated.
+        """
+        cgroup = self.mm.cgroup(cgroup_name)
+        ages = np.fromiter(
+            (
+                page.last_access
+                for lruset in cgroup.lru.values()
+                for lru in (lruset.active, lruset.inactive)
+                for page in lru
+            ),
+            dtype=np.float64,
+        )
+        np.subtract(now, ages, out=ages)
+        np.maximum(ages, 0.0, out=ages)
+        return ages
+
+    def _charge(self, npages: int) -> None:
+        """Charge the scan cost for ``npages`` inspected pages."""
+        self.pages_scanned += npages
+        self.scan_cpu_seconds += npages * IDLE_SCAN_COST_S
+
     def scan(
         self,
         cgroup_name: str,
@@ -81,14 +109,19 @@ class IdlePageTracker:
         buckets: Sequence[float] = DEFAULT_AGE_BUCKETS_S,
     ) -> AgeHistogram:
         """One full scan of the cgroup's resident pages."""
-        histogram = AgeHistogram(edges=tuple(buckets))
-        for page in self.mm.pages(cgroup_name):
-            if not page.resident:
-                continue
-            histogram.add(max(0.0, now - page.last_access))
-            self.pages_scanned += 1
-            self.scan_cpu_seconds += IDLE_SCAN_COST_S
-        return histogram
+        edges = tuple(buckets)
+        ages = self._resident_ages(cgroup_name, now)
+        self._charge(len(ages))
+        # ``add()`` puts an age in the first bucket whose edge is still
+        # greater; searchsorted(side="right") computes the same index
+        # (the count of edges <= age) for every page at once.
+        bucket_index = np.searchsorted(np.asarray(edges), ages, side="right")
+        counts = np.bincount(bucket_index, minlength=len(edges) + 1)
+        return AgeHistogram(
+            edges=edges,
+            counts=[int(c) for c in counts],
+            total_pages=len(ages),
+        )
 
     def cold_bytes(
         self, cgroup_name: str, now: float, age_threshold_s: float
@@ -96,12 +129,13 @@ class IdlePageTracker:
         """Resident bytes idle for at least ``age_threshold_s``.
 
         The offline-profiling estimate a g-swap-style system derives its
-        static offload target from.
+        static offload target from. Like :meth:`scan`, the cost is
+        charged for every resident page *inspected* — the scanner has to
+        read each page's idle bit to learn the page is warm — not only
+        for the pages that turn out cold.
         """
-        cold = 0
-        for page in self.mm.pages(cgroup_name):
-            if page.resident and now - page.last_access >= age_threshold_s:
-                cold += self.mm.page_size_bytes
-                self.pages_scanned += 1
-                self.scan_cpu_seconds += IDLE_SCAN_COST_S
-        return cold
+        ages = self._resident_ages(cgroup_name, now)
+        self._charge(len(ages))
+        return int(np.count_nonzero(ages >= age_threshold_s)) * (
+            self.mm.page_size_bytes
+        )

@@ -1,0 +1,34 @@
+"""Simulator performance layer: benchmark harness and regression gate.
+
+``python -m repro bench`` runs the canonical scenario matrix (single
+host, fleet serial+parallel, chaos-enabled, tick microbenchmark), writes
+a machine-readable ``BENCH_5.json`` and optionally gates against a
+committed baseline (see :mod:`repro.perf.harness` and
+docs/PERFORMANCE.md).
+"""
+
+from repro.perf.harness import (
+    BENCH_ID,
+    BENCH_SCHEMA_VERSION,
+    BENCH_SEED,
+    DEFAULT_TOLERANCE,
+    PRE_PR_TICKS_PER_S,
+    check_regression,
+    format_report,
+    load_report,
+    run_bench,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_ID",
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_SEED",
+    "DEFAULT_TOLERANCE",
+    "PRE_PR_TICKS_PER_S",
+    "check_regression",
+    "format_report",
+    "load_report",
+    "run_bench",
+    "write_report",
+]

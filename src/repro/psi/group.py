@@ -9,10 +9,17 @@ averages exposed through the pressure-file interface.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.psi.avgs import PSI_AVG_PERIOD, RunningAverages
-from repro.psi.types import Resource, TaskFlags
+from repro.psi.types import (
+    N_FLAG_STATES,
+    RESOURCE_INDEX,
+    RESOURCE_ORDER,
+    TRANSITION_SPARSE,
+    Resource,
+    TaskFlags,
+)
 
 #: The two pressure indicators per resource.
 SOME = "some"
@@ -63,9 +70,11 @@ class PsiGroup:
         self.name = name
         self.ncpu = ncpu
         self.parent = parent
-        # Task counters, updated by the tracker.
-        self.nr_stalled: Dict[Resource, int] = {r: 0 for r in Resource}
-        self.nr_productive: Dict[Resource, int] = {r: 0 for r in Resource}
+        # Task counters, updated by the tracker; indexed by the
+        # resource's ordinal in RESOURCE_ORDER (plain list indexing is
+        # markedly cheaper than enum-keyed dicts on this path).
+        self.nr_stalled: List[int] = [0] * len(RESOURCE_ORDER)
+        self.nr_productive: List[int] = [0] * len(RESOURCE_ORDER)
         self.nr_nonidle = 0
         # Stall-time integrals in seconds.
         self.totals: Dict[Tuple[Resource, str], float] = {
@@ -82,13 +91,19 @@ class PsiGroup:
 
     def _state_active(self, resource: Resource, kind: str) -> bool:
         """Whether the (resource, kind) stall state is active right now."""
-        stalled = self.nr_stalled[resource] > 0
+        index = RESOURCE_INDEX[resource]
+        stalled = self.nr_stalled[index] > 0
         if kind == SOME:
             return stalled
-        return stalled and self.nr_productive[resource] == 0
+        return stalled and self.nr_productive[index] == 0
 
     def _integrate(self, now: float) -> None:
-        """Accrue stall time for all active states up to ``now``."""
+        """Accrue stall time for all active states up to ``now``.
+
+        Inlines :meth:`_state_active` (``some`` = anyone stalled,
+        ``full`` = stalled with nobody productive) — this runs once per
+        task transition per domain.
+        """
         elapsed = now - self._last_change
         if elapsed < 0:
             raise ValueError(
@@ -96,9 +111,14 @@ class PsiGroup:
                 f"({self._last_change} -> {now})"
             )
         if elapsed > 0:
-            for state in _STATES:
-                if self._state_active(*state):
-                    self.totals[state] += elapsed
+            totals = self.totals
+            nr_stalled = self.nr_stalled
+            nr_productive = self.nr_productive
+            for index, resource in enumerate(RESOURCE_ORDER):
+                if nr_stalled[index] > 0:
+                    totals[(resource, SOME)] += elapsed
+                    if nr_productive[index] == 0:
+                        totals[(resource, FULL)] += elapsed
             self._last_change = now
 
     # ------------------------------------------------------------------
@@ -107,21 +127,33 @@ class PsiGroup:
     def change_task_state(
         self, old: TaskFlags, new: TaskFlags, now: float
     ) -> None:
-        """Apply one task's transition from ``old`` to ``new`` flags."""
+        """Apply one task's transition from ``old`` to ``new`` flags.
+
+        Hot path: the per-resource counter deltas come from the
+        precomputed :data:`~repro.psi.types.TRANSITION_DELTAS` table
+        (one lookup) rather than re-evaluating the flag predicates per
+        resource per event.
+        """
         self.tick(now)
-        for resource in Resource:
-            if old.stalled_on(resource):
-                self.nr_stalled[resource] -= 1
-            if new.stalled_on(resource):
-                self.nr_stalled[resource] += 1
-            if old.productive_for(resource):
-                self.nr_productive[resource] -= 1
-            if new.productive_for(resource):
-                self.nr_productive[resource] += 1
-        self.nr_nonidle += int(new.nonidle) - int(old.nonidle)
-        if self.nr_nonidle < 0 or any(
-            n < 0 for n in self.nr_stalled.values()
-        ):
+        stalled_pairs, productive_pairs, nonidle_d = TRANSITION_SPARSE[
+            old._value_ * N_FLAG_STATES + new._value_
+        ]
+        bad = False
+        if stalled_pairs:
+            nr_stalled = self.nr_stalled
+            for index, delta in stalled_pairs:
+                nr_stalled[index] += delta
+                if nr_stalled[index] < 0:
+                    bad = True
+        if productive_pairs:
+            nr_productive = self.nr_productive
+            for index, delta in productive_pairs:
+                nr_productive[index] += delta
+        if nonidle_d:
+            self.nr_nonidle += nonidle_d
+            if self.nr_nonidle < 0:
+                bad = True
+        if bad:
             raise RuntimeError(
                 f"PSI group {self.name!r}: task counters went negative; "
                 "a transition was fed with mismatched old flags"
@@ -167,6 +199,20 @@ class PsiGroup:
             full_total=self.totals[(resource, FULL)],
         )
 
+    def quick_read(
+        self, resource: Resource, now: float
+    ) -> Tuple[float, float]:
+        """``(some avg10, some total)`` without building a sample object.
+
+        The per-tick metrics hot path needs just these two numbers per
+        resource; :meth:`sample` stays the full read for everyone else.
+        """
+        self.tick(now)
+        return (
+            self._avgs[(resource, SOME)].avg10,
+            self.totals[(resource, SOME)],
+        )
+
     def productivity_loss(self, resource: Resource) -> float:
         """Instantaneous share of compute potential lost to stalls.
 
@@ -177,13 +223,17 @@ class PsiGroup:
         potential = min(self.nr_nonidle, self.ncpu)
         if potential == 0:
             return 0.0
-        stalled = min(self.nr_stalled[resource], potential)
+        stalled = min(self.nr_stalled[RESOURCE_INDEX[resource]], potential)
         return stalled / potential
 
     def __repr__(self) -> str:
+        stalled = ", ".join(
+            f"{r.value}:{n}"
+            for r, n in zip(RESOURCE_ORDER, self.nr_stalled)
+        )
         return (
             f"PsiGroup(name={self.name!r}, nonidle={self.nr_nonidle}, "
-            f"stalled={{{', '.join(f'{r.value}:{n}' for r, n in self.nr_stalled.items())}}})"
+            f"stalled={{{stalled}}})"
         )
 
 

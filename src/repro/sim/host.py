@@ -137,6 +137,13 @@ class Host:
         self._hosted: Dict[str, HostedWorkload] = {}
         self._tick_index = 0
         self._prev_device_stats: Dict[str, Tuple[int, int, int]] = {}
+        # Scratch buffers reused by _feed_psi every tick, so the hot
+        # path allocates no per-tick lists.
+        self._psi_events: List[Tuple[float, int, PsiTask, TaskFlags]] = []
+        self._psi_durations: List[float] = [0.0] * len(_SEGMENT_FLAGS)
+        # Per-workload metric names, interned once instead of rebuilding
+        # ~13 f-strings per workload every tick.
+        self._metric_names: Dict[str, Tuple[str, ...]] = {}
 
         # --- devices: the filesystem SSD is always present; when the
         # backend is SSD swap, swap shares the same physical device.
@@ -405,10 +412,28 @@ class Host:
             self.invariants.check(self)
 
     def run(self, duration_s: float) -> None:
-        """Run the host loop for ``duration_s`` of virtual time."""
-        end = self.clock.now + duration_s
-        while self.clock.now < end - 1e-9:
+        """Run the host loop for ``duration_s`` of virtual time.
+
+        The loop is driven by an integer tick count derived once from
+        the duration, never by float comparisons against the
+        accumulating clock: with a tick like 0.1 s (not exactly
+        representable) the sum drifts, and an epsilon compare
+        eventually executes one tick too many or too few on long runs.
+        """
+        dt = self.config.tick_s
+        ratio = duration_s / dt
+        nticks = int(ratio)
+        # A genuine fractional remainder gets one more (partial-period)
+        # tick, exactly like the old loop; division noise does not.
+        if ratio - nticks > 1e-9 * max(1.0, ratio):
+            nticks += 1
+        for _ in range(nticks):
             self.step()
+
+    @property
+    def tick_count(self) -> int:
+        """Ticks executed since construction (exact, integer)."""
+        return self._tick_index
 
     # ------------------------------------------------------------------
     # scheduler model -> PSI transitions
@@ -416,47 +441,65 @@ class Host:
     def _feed_psi(
         self, results: Dict[str, TickResult], now0: float, dt: float
     ) -> None:
-        """Lay each thread's run/stall segments onto the PSI timeline."""
+        """Lay each thread's run/stall segments onto the PSI timeline.
+
+        Hot path: the event and duration buffers are reused across
+        ticks, segments that would not change a task's flags are not
+        emitted (``set_flags`` would be a no-op), and events carry a
+        sequence number so plain tuple sorting reproduces the stable
+        time order without a key function.
+        """
         capacity = self.config.ncpu * dt
         demand = sum(r.cpu_seconds for r in results.values())
         cpu_share = 1.0 if demand <= capacity else capacity / demand
 
-        events: List[Tuple[float, PsiTask, TaskFlags]] = []
+        events = self._psi_events
+        events.clear()
+        durations = self._psi_durations
+        nseg = len(durations)
+        seq = 0
         for name, hosted in self._hosted.items():
             tick = results[name]
             nthreads = max(1, len(hosted.psi_tasks))
             run_demand = tick.cpu_seconds / nthreads
             run = run_demand * cpu_share
             wait = run_demand - run
-            durations = [
-                run,
-                tick.stall_mem_s / nthreads,
-                tick.stall_both_s / nthreads,
-                tick.stall_io_s / nthreads,
-                wait,
-            ]
-            busy = sum(durations)
+            durations[0] = run
+            durations[1] = tick.stall_mem_s / nthreads
+            durations[2] = tick.stall_both_s / nthreads
+            durations[3] = tick.stall_io_s / nthreads
+            durations[4] = wait
+            busy = (
+                durations[0] + durations[1] + durations[2]
+                + durations[3] + durations[4]
+            )
             if busy > dt:
                 scale = dt / busy
-                durations = [d * scale for d in durations]
+                for i in range(5):
+                    durations[i] *= scale
                 busy = dt
-            durations.append(dt - busy)  # idle remainder
+            durations[5] = dt - busy  # idle remainder
 
             for t_idx, task in enumerate(hosted.psi_tasks):
-                rotation = (t_idx + self._tick_index) % len(durations)
+                rotation = (t_idx + self._tick_index) % nseg
                 cursor = now0
-                order = list(range(rotation, len(durations))) + list(
-                    range(rotation)
-                )
-                for seg in order:
+                last_flags = task.flags
+                for step in range(nseg):
+                    seg = rotation + step
+                    if seg >= nseg:
+                        seg -= nseg
                     dur = durations[seg]
                     if dur <= 1e-12:
                         continue
-                    events.append((cursor, task, _SEGMENT_FLAGS[seg]))
+                    flags = _SEGMENT_FLAGS[seg]
+                    if flags != last_flags:
+                        events.append((cursor, seq, task, flags))
+                        seq += 1
+                        last_flags = flags
                     cursor += dur
 
-        events.sort(key=lambda e: e[0])
-        for when, task, flags in events:
+        events.sort()
+        for when, _, task, flags in events:
             task.set_flags(flags, when)
 
     # ------------------------------------------------------------------
@@ -498,20 +541,35 @@ class Host:
         for name, hosted in self._hosted.items():
             cg = self.mm.cgroup(name)
             tick = results[name]
-            rec(f"{name}/resident_bytes", now, cg.resident_bytes)
-            rec(f"{name}/anon_bytes", now, cg.anon_bytes)
-            rec(f"{name}/file_bytes", now, cg.file_bytes)
-            rec(f"{name}/swap_bytes", now, cg.swap_bytes)
-            rec(f"{name}/zswap_bytes", now, cg.zswap_bytes)
+            names = self._metric_names.get(name)
+            if names is None:
+                names = tuple(
+                    f"{name}/{suffix}" for suffix in (
+                        "resident_bytes", "anon_bytes", "file_bytes",
+                        "swap_bytes", "zswap_bytes", "promotion_rate",
+                        "refaults", "rps", "oom",
+                        "psi_mem_some_avg10", "psi_io_some_avg10",
+                        "psi_mem_some_total", "psi_io_some_total",
+                    )
+                )
+                self._metric_names[name] = names
+            (n_resident, n_anon, n_file, n_swap, n_zswap, n_promo,
+             n_refaults, n_rps, n_oom, n_mem10, n_io10, n_memtot,
+             n_iotot) = names
+            rec(n_resident, now, cg.resident_bytes)
+            rec(n_anon, now, cg.anon_bytes)
+            rec(n_file, now, cg.file_bytes)
+            rec(n_swap, now, cg.swap_bytes)
+            rec(n_zswap, now, cg.zswap_bytes)
             promotions = tick.count("swapin") + tick.count("zswapin")
-            rec(f"{name}/promotion_rate", now, promotions / dt)
-            rec(f"{name}/refaults", now, tick.count("refault") / dt)
-            rec(f"{name}/rps", now, tick.work_done / dt)
-            rec(f"{name}/oom", now, 1.0 if tick.oom else 0.0)
+            rec(n_promo, now, promotions / dt)
+            rec(n_refaults, now, tick.count("refault") / dt)
+            rec(n_rps, now, tick.work_done / dt)
+            rec(n_oom, now, 1.0 if tick.oom else 0.0)
             group = self.psi.group(name)
-            mem = group.sample(Resource.MEMORY, now)
-            io = group.sample(Resource.IO, now)
-            rec(f"{name}/psi_mem_some_avg10", now, mem.some_avg10)
-            rec(f"{name}/psi_io_some_avg10", now, io.some_avg10)
-            rec(f"{name}/psi_mem_some_total", now, mem.some_total)
-            rec(f"{name}/psi_io_some_total", now, io.some_total)
+            mem_avg10, mem_total = group.quick_read(Resource.MEMORY, now)
+            io_avg10, io_total = group.quick_read(Resource.IO, now)
+            rec(n_mem10, now, mem_avg10)
+            rec(n_io10, now, io_avg10)
+            rec(n_memtot, now, mem_total)
+            rec(n_iotot, now, io_total)

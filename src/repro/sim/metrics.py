@@ -8,65 +8,129 @@ figure data is a set of named series sampled over simulated time. The
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+import hashlib
+import struct
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+#: Initial sample capacity of a series buffer; doubles on overflow.
+_INITIAL_CAPACITY = 16
 
-@dataclass
+
 class Series:
-    """A single named time series of ``(time, value)`` samples."""
+    """A single named time series of ``(time, value)`` samples.
 
-    name: str
-    times: List[float] = field(default_factory=list)
-    values: List[float] = field(default_factory=list)
+    Samples live in amortised-doubling numpy buffers, so the per-tick
+    :meth:`record` call is an array store instead of two list appends
+    and :meth:`as_arrays` hands out views without converting. The
+    ``times``/``values`` properties still present plain Python lists
+    for the callers (tests, CSV export, checkpoints) that want them.
+    """
+
+    __slots__ = ("name", "_t_buf", "_v_buf", "_n")
+
+    def __init__(
+        self,
+        name: str,
+        times: Optional[Sequence[float]] = None,
+        values: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        times = [] if times is None else list(times)
+        values = [] if values is None else list(values)
+        if len(times) != len(values):
+            raise ValueError(
+                f"series {name!r}: {len(times)} times vs "
+                f"{len(values)} values"
+            )
+        n = len(times)
+        capacity = max(_INITIAL_CAPACITY, n)
+        self._t_buf = np.empty(capacity, dtype=np.float64)
+        self._v_buf = np.empty(capacity, dtype=np.float64)
+        self._t_buf[:n] = times
+        self._v_buf[:n] = values
+        self._n = n
+
+    @property
+    def times(self) -> List[float]:
+        """Sample times as a plain list (a copy; do not append to it)."""
+        return self._t_buf[: self._n].tolist()
+
+    @property
+    def values(self) -> List[float]:
+        """Sample values as a plain list (a copy; do not append to it)."""
+        return self._v_buf[: self._n].tolist()
 
     def record(self, t: float, value: float) -> None:
         """Append one sample; time must be non-decreasing."""
-        if self.times and t < self.times[-1]:
+        n = self._n
+        t_buf = self._t_buf
+        if n and t < t_buf[n - 1]:
             raise ValueError(
                 f"series {self.name!r}: time went backwards "
-                f"({self.times[-1]} -> {t})"
+                f"({t_buf[n - 1]} -> {t})"
             )
-        self.times.append(float(t))
-        self.values.append(float(value))
+        if n == len(t_buf):
+            self._t_buf = t_buf = np.concatenate(
+                [t_buf, np.empty(n, dtype=np.float64)]
+            )
+            self._v_buf = np.concatenate(
+                [self._v_buf, np.empty(n, dtype=np.float64)]
+            )
+        t_buf[n] = t
+        self._v_buf[n] = value
+        self._n = n + 1
 
     def __len__(self) -> int:
-        return len(self.times)
+        return self._n
+
+    def __repr__(self) -> str:
+        return f"Series(name={self.name!r}, samples={self._n})"
 
     def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Return ``(times, values)`` as numpy arrays."""
-        return np.asarray(self.times), np.asarray(self.values)
+        """Return ``(times, values)`` as read-only numpy array views."""
+        times = self._t_buf[: self._n]
+        values = self._v_buf[: self._n]
+        times.flags.writeable = False
+        values.flags.writeable = False
+        return times, values
 
     def window(self, start: float, end: float) -> "Series":
-        """Return the sub-series with ``start <= t < end``."""
-        out = Series(self.name)
-        for t, v in zip(self.times, self.values):
-            if start <= t < end:
-                out.times.append(t)
-                out.values.append(v)
-        return out
+        """Return the sub-series with ``start <= t < end``.
+
+        Times are non-decreasing (enforced by :meth:`record`), so the
+        window is one contiguous slice found by bisection.
+        """
+        t = self._t_buf[: self._n]
+        lo = int(np.searchsorted(t, start, side="left"))
+        hi = int(np.searchsorted(t, end, side="left"))
+        return Series(
+            self.name,
+            times=t[lo:hi],
+            values=self._v_buf[lo:hi],
+        )
 
     def mean(self) -> float:
         """Mean of all sample values (nan when empty)."""
-        return float(np.mean(self.values)) if self.values else float("nan")
+        n = self._n
+        return float(self._v_buf[:n].mean()) if n else float("nan")
 
     def last(self) -> float:
         """Most recent value (nan when empty)."""
-        return self.values[-1] if self.values else float("nan")
+        return float(self._v_buf[self._n - 1]) if self._n else float("nan")
 
     def min(self) -> float:
-        return float(np.min(self.values)) if self.values else float("nan")
+        return float(self._v_buf[: self._n].min()) if self._n else float("nan")
 
     def max(self) -> float:
-        return float(np.max(self.values)) if self.values else float("nan")
+        return float(self._v_buf[: self._n].max()) if self._n else float("nan")
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile of the sample values."""
-        if not self.values:
+        if not self._n:
             return float("nan")
-        return float(np.percentile(self.values, q))
+        return float(np.percentile(self._v_buf[: self._n], q))
 
 
 class MetricsRecorder:
@@ -76,16 +140,45 @@ class MetricsRecorder:
         self._series: Dict[str, Series] = {}
 
     def record(self, name: str, t: float, value: float) -> None:
-        """Record one sample on the series called ``name``."""
+        """Record one sample on the series called ``name``.
+
+        Inlines :meth:`Series.record` (buffer store + monotonicity
+        check): this runs a couple dozen times per simulated tick.
+        """
         series = self._series.get(name)
         if series is None:
             series = Series(name)
             self._series[name] = series
-        series.record(t, value)
+        n = series._n
+        t_buf = series._t_buf
+        if n and t < t_buf[n - 1]:
+            raise ValueError(
+                f"series {name!r}: time went backwards "
+                f"({t_buf[n - 1]} -> {t})"
+            )
+        if n == len(t_buf):
+            series._t_buf = t_buf = np.concatenate(
+                [t_buf, np.empty(n, dtype=np.float64)]
+            )
+            series._v_buf = np.concatenate(
+                [series._v_buf, np.empty(n, dtype=np.float64)]
+            )
+        t_buf[n] = t
+        series._v_buf[n] = value
+        series._n = n + 1
 
     def series(self, name: str) -> Series:
-        """Fetch a series by name; empty series if never recorded."""
-        return self._series.get(name, Series(name))
+        """Fetch a series by name, registering it if never recorded.
+
+        The returned series is always the recorder's own: a ``record()``
+        on it is visible to later fetches, rather than vanishing into a
+        detached throwaway object.
+        """
+        series = self._series.get(name)
+        if series is None:
+            series = Series(name)
+            self._series[name] = series
+        return series
 
     def names(self) -> Iterable[str]:
         return self._series.keys()
@@ -97,3 +190,27 @@ class MetricsRecorder:
         """Mean of each requested series (all series by default)."""
         wanted = list(names) if names is not None else list(self._series)
         return {name: self.series(name).mean() for name in wanted}
+
+
+def metrics_digest(metrics: MetricsRecorder) -> str:
+    """SHA-256 over every series' name, times and values, in name order.
+
+    Bit-level: floats are packed as IEEE doubles, so two digests match
+    only when every sample of every series is byte-identical. This is
+    the equivalence check behind crash-restore verification and the
+    parallel-vs-serial fleet contract.
+    """
+    sha = hashlib.sha256()
+    for name in sorted(metrics.names()):
+        series = metrics.series(name)
+        sha.update(name.encode())
+        sha.update(struct.pack("<q", len(series)))
+        # One interleaved (t, v) float64 array hashed in a single call:
+        # little-endian IEEE doubles, byte-identical to packing each
+        # sample with struct.pack("<dd", t, v).
+        times, values = series.as_arrays()
+        interleaved = np.empty((len(series), 2), dtype="<f8")
+        interleaved[:, 0] = times
+        interleaved[:, 1] = values
+        sha.update(interleaved.tobytes())
+    return sha.hexdigest()

@@ -83,6 +83,13 @@ class Workload:
         self._rng = derive_rng(seed, f"workload:{profile.name}:{cgroup_name}")
         self._pages: List[Page] = []
         self._intervals = np.empty(0)
+        # Touch-probability cache: valid while the interval array object
+        # and dt are unchanged. Paths that replace ``_intervals`` (start,
+        # growth, restart, resize) are caught by the identity check;
+        # in-place mutation (shift_workingset) invalidates explicitly.
+        self._probs = np.empty(0)
+        self._probs_for: object = None
+        self._probs_dt = -1.0
         self._growth_carry = 0.0
         self._pending_spike_pages = 0
         self.started = False
@@ -244,6 +251,7 @@ class Workload:
             never_share=self.profile.cold_never_share,
         )
         self._intervals[chosen] = fresh
+        self._probs_for = None  # in-place heat change: drop cached probs
         return n
 
     def _select_touches(self, dt: float) -> np.ndarray:
@@ -252,8 +260,11 @@ class Workload:
         Separated from execution so traces can be recorded and replayed
         (see :mod:`repro.workloads.trace`).
         """
-        probs = touch_probability(self._intervals, dt)
-        mask = self._rng.random(len(self._pages)) < probs
+        if self._probs_for is not self._intervals or self._probs_dt != dt:
+            self._probs = touch_probability(self._intervals, dt)
+            self._probs_for = self._intervals
+            self._probs_dt = dt
+        mask = self._rng.random(len(self._pages)) < self._probs
         touched = np.nonzero(mask)[0]
         self._rng.shuffle(touched)
         return touched
@@ -268,19 +279,20 @@ class Workload:
         tick.cpu_seconds = self.profile.cpu_cores * dt
 
         touched = self._select_touches(dt)
-        work_done = 0
-        for idx in touched:
-            try:
-                result = self.mm.touch(self._pages[idx], now)
-            except OutOfMemoryError:
-                # The fault path could not make room even with direct
-                # reclaim: the access fails, the rest of the quantum's
-                # touches are abandoned (the app is thrashing, not
-                # progressing), and the tick reports OOM.
-                tick.oom = True
-                break
-            self._accumulate(result, tick)
-            work_done += 1
+        # Batched fault resolution: one call resolves the whole quantum.
+        # On OOM the memory manager abandons the rest of the quantum's
+        # touches (the app is thrashing, not progressing) and the tick
+        # reports OOM.
+        events, mem_s, io_s, both_s, work_done, oom = self.mm.touch_batch(
+            self._pages, touched, now
+        )
+        for event, count in events.items():
+            tick.events[event] = tick.events.get(event, 0) + count
+        tick.stall_mem_s += mem_s
+        tick.stall_io_s += io_s
+        tick.stall_both_s += both_s
+        if oom:
+            tick.oom = True
         tick.work_done = float(work_done)
 
         self._grow(now, dt, tick)

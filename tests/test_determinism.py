@@ -77,3 +77,29 @@ def test_different_seed_diverges():
         "changing the seed changed nothing — the determinism test "
         "would be vacuous"
     )
+
+
+def test_fleet_digests_are_worker_count_invariant():
+    """The same promise, fleet-wide: fanning hosts over processes is a
+    pure speedup. Per-host metric digests (SHA-256 over every series,
+    see :func:`repro.sim.metrics.metrics_digest`) must be bit-identical
+    whatever the worker count."""
+    from repro.core.fleet import Fleet, HostPlan
+    from repro.sim.host import HostConfig
+
+    plans = [HostPlan(app="Feed", count=2, size_scale=0.003)]
+
+    def digests(seed, workers):
+        fleet = Fleet(
+            base_config=HostConfig(
+                ram_gb=0.25, page_size_bytes=1 * MB, ncpu=4,
+            ),
+            seed=seed,
+        )
+        result = fleet.run(plans, duration_s=60.0, workers=workers)
+        assert not result.failed_hosts
+        return [r.metrics_digest for r in result.reports]
+
+    for seed in (1234, 4321):
+        assert digests(seed, None) == digests(seed, 2)
+    assert digests(1234, 2) != digests(4321, 2)

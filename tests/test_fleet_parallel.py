@@ -1,0 +1,103 @@
+"""Parallel fleet execution: determinism and worker-crash isolation.
+
+The contract (docs/PERFORMANCE.md): ``Fleet.run(workers=N)`` is a pure
+speedup — reports, failures and per-host metric digests are identical to
+the serial rollout, bit for bit, and a worker process dying is contained
+as :class:`FailedHost` records rather than aborting the rollout.
+"""
+
+import os
+
+import pytest
+
+import repro.core.fleet as fleet_mod
+from repro.core.fleet import FailedHost, Fleet, HostPlan
+from repro.sim.host import HostConfig
+
+MB = 1 << 20
+
+PLANS = [
+    HostPlan(app="Feed", count=2, size_scale=0.003),
+    HostPlan(app="Web", count=1, size_scale=0.003),
+]
+
+
+def tiny_fleet(seed: int) -> Fleet:
+    return Fleet(
+        base_config=HostConfig(
+            ram_gb=0.25, page_size_bytes=1 * MB, ncpu=4,
+        ),
+        seed=seed,
+    )
+
+
+def digests(result):
+    return [
+        (r.app, r.host_index, r.metrics_digest) for r in result.reports
+    ]
+
+
+@pytest.mark.parametrize("seed", [3, 20260704])
+def test_parallel_matches_serial_bit_for_bit(seed):
+    serial = tiny_fleet(seed).run(PLANS, duration_s=60.0)
+    parallel = tiny_fleet(seed).run(PLANS, duration_s=60.0, workers=3)
+    assert serial.failed_hosts == [] and parallel.failed_hosts == []
+    assert digests(serial) == digests(parallel)
+    assert all(d for _, _, d in digests(serial))
+    for a, b in zip(serial.reports, parallel.reports):
+        assert a.app_saved_bytes == b.app_saved_bytes
+        assert a.tax_saved_bytes == b.tax_saved_bytes
+        assert a.pgsteal == b.pgsteal
+
+
+def test_different_seeds_give_different_digests():
+    a = tiny_fleet(1).run(PLANS, duration_s=60.0, workers=2)
+    b = tiny_fleet(2).run(PLANS, duration_s=60.0, workers=2)
+    assert digests(a) != digests(b), (
+        "changing the fleet seed changed nothing — the equality test "
+        "above would be vacuous"
+    )
+
+
+def test_workers_one_takes_the_serial_path():
+    seed = 11
+    r1 = tiny_fleet(seed).run(PLANS, duration_s=30.0, workers=1)
+    r2 = tiny_fleet(seed).run(PLANS, duration_s=30.0)
+    assert digests(r1) == digests(r2)
+
+
+def test_parallel_isolates_an_in_host_failure():
+    plans = PLANS + [
+        HostPlan(app="Feed", count=1, size_scale=0.003, backend="bogus"),
+    ]
+    result = tiny_fleet(5).run(plans, duration_s=30.0, workers=2)
+    assert result.partial is True
+    assert len(result.reports) == 3
+    assert len(result.failed_hosts) == 1
+    assert "bogus" in result.failed_hosts[0].error
+
+
+def _die_instead_of_running(*_args):
+    """Stand-in fleet-host body that kills the worker process outright,
+    bypassing Python exception handling — the hardest failure a worker
+    can produce short of a SIGKILL from outside."""
+    os._exit(1)
+
+
+def test_worker_crash_becomes_failed_hosts(monkeypatch):
+    """A dying worker must surface as FailedHost records, not an
+    exception out of the rollout (BrokenProcessPool is swallowed)."""
+    monkeypatch.setattr(
+        fleet_mod, "_run_fleet_host", _die_instead_of_running
+    )
+    result = tiny_fleet(7).run(PLANS, duration_s=30.0, workers=2)
+    ntasks = sum(plan.count for plan in PLANS)
+    assert result.reports == []
+    assert len(result.failed_hosts) == ntasks
+    assert result.partial is True
+    for failed, (app, index) in zip(
+        result.failed_hosts,
+        [(p.app, i) for p in PLANS for i in range(p.count)],
+    ):
+        assert isinstance(failed, FailedHost)
+        assert (failed.app, failed.host_index) == (app, index)

@@ -85,6 +85,27 @@ def test_scan_cpu_cost_scales_with_pages():
     assert tracker.pages_scanned == 100
 
 
+def test_cold_bytes_charges_every_page_inspected():
+    """Regression: ``cold_bytes`` walks the whole resident LRU, so its
+    scan cost covers every page inspected — not just the cold ones it
+    ends up counting (the undercount made idle scanning look cheaper
+    than Figure 2's CPU-overhead argument assumes)."""
+    from repro.kernel.idle import IDLE_SCAN_COST_S
+
+    mm = make_mm()
+    mm.create_cgroup("app")
+    pages, _ = mm.alloc_anon("app", 8, now=0.0)
+    for page in pages[:5]:
+        mm.touch(page, now=995.0)  # warm: only 3 pages stay cold
+    tracker = IdlePageTracker(mm)
+    cold = tracker.cold_bytes("app", now=1000.0, age_threshold_s=60.0)
+    assert cold == 3 * PAGE
+    assert tracker.pages_scanned == 8
+    assert tracker.scan_cpu_seconds == pytest.approx(
+        8 * IDLE_SCAN_COST_S
+    )
+
+
 def test_default_buckets_cover_figure2_windows():
     assert 60.0 in DEFAULT_AGE_BUCKETS_S
     assert 120.0 in DEFAULT_AGE_BUCKETS_S

@@ -1,0 +1,136 @@
+"""The benchmark harness: report schema, round-trip, regression gate."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.perf import (
+    BENCH_ID,
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_TOLERANCE,
+    PRE_PR_TICKS_PER_S,
+    check_regression,
+    format_report,
+    load_report,
+    run_bench,
+    write_report,
+)
+
+SCENARIOS = (
+    "microbench_tick",
+    "single_host",
+    "fleet_serial",
+    "fleet_parallel",
+    "chaos",
+)
+
+RESULT_FIELDS = (
+    "wall_s",
+    "ticks",
+    "ticks_per_s",
+    "pages_reclaimed",
+    "pages_reclaimed_per_s",
+    "peak_rss_bytes",
+    "normalized_score",
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """One quick benchmark run shared by the schema tests below."""
+    return run_bench(quick=True, workers=2)
+
+
+def test_report_schema(quick_report):
+    assert quick_report["schema_version"] == BENCH_SCHEMA_VERSION
+    assert quick_report["bench_id"] == BENCH_ID
+    assert quick_report["quick"] is True
+    assert quick_report["calibration_ops_per_s"] > 0
+    assert set(quick_report["scenarios"]) == set(SCENARIOS)
+    for name in SCENARIOS:
+        entry = quick_report["scenarios"][name]
+        assert set(entry) == set(RESULT_FIELDS), name
+        assert entry["wall_s"] > 0
+        assert entry["ticks"] > 0
+        assert entry["ticks_per_s"] > 0
+        assert entry["normalized_score"] > 0
+        assert entry["peak_rss_bytes"] > 0
+    assert set(quick_report["pre_pr"]) == set(PRE_PR_TICKS_PER_S)
+    assert set(quick_report["speedup_vs_pre_pr"]) == set(
+        PRE_PR_TICKS_PER_S
+    )
+
+
+def test_parallel_digests_match_in_harness_run(quick_report):
+    assert quick_report["parallel_digests_match"] is True
+
+
+def test_report_round_trips_through_json(tmp_path, quick_report):
+    path = str(tmp_path / "BENCH_5.json")
+    write_report(quick_report, path)
+    with open(path) as fh:
+        raw = json.load(fh)  # valid JSON on disk
+    assert raw == quick_report
+    assert load_report(path) == quick_report
+
+
+def test_load_report_rejects_wrong_schema(tmp_path):
+    path = str(tmp_path / "bad.json")
+    with open(path, "w") as fh:
+        json.dump({"schema_version": 999}, fh)
+    with pytest.raises(ValueError, match="schema_version"):
+        load_report(path)
+
+
+def test_format_report_mentions_every_scenario(quick_report):
+    text = format_report(quick_report)
+    for name in SCENARIOS:
+        assert name in text
+
+
+def test_regression_gate_passes_against_itself(quick_report):
+    assert check_regression(quick_report, quick_report) == []
+
+
+def _with_score(report, name, factor):
+    clone = json.loads(json.dumps(report))
+    clone["scenarios"][name]["normalized_score"] *= factor
+    return clone
+
+
+def test_regression_gate_flags_a_big_drop(quick_report):
+    slower = _with_score(quick_report, "chaos", 1.0 - 2 * DEFAULT_TOLERANCE)
+    problems = check_regression(slower, quick_report)
+    assert len(problems) == 1
+    assert problems[0].startswith("chaos:")
+
+
+def test_regression_gate_tolerates_a_small_drop(quick_report):
+    slower = _with_score(quick_report, "chaos", 1.0 - DEFAULT_TOLERANCE / 2)
+    assert check_regression(slower, quick_report) == []
+
+
+def test_regression_gate_flags_missing_scenarios(quick_report):
+    clone = json.loads(json.dumps(quick_report))
+    del clone["scenarios"]["fleet_serial"]
+    problems = check_regression(clone, quick_report)
+    assert problems == ["fleet_serial: missing from current report"]
+
+
+def test_regression_gate_flags_digest_divergence(quick_report):
+    clone = json.loads(json.dumps(quick_report))
+    clone["parallel_digests_match"] = False
+    problems = check_regression(clone, quick_report)
+    assert any("digest" in p for p in problems)
+
+
+def test_committed_baseline_is_schema_valid():
+    baseline = (
+        pathlib.Path(__file__).parent.parent
+        / "benchmarks" / "BENCH_baseline.json"
+    )
+    report = load_report(str(baseline))
+    assert report["quick"] is False
+    assert set(report["scenarios"]) == set(SCENARIOS)
+    assert report["parallel_digests_match"] is True

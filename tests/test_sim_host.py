@@ -82,6 +82,18 @@ def test_run_duration():
     assert host.clock.now == pytest.approx(10.0)
 
 
+def test_run_tick_totals_are_exact_over_hours():
+    """Regression: :meth:`Host.run` counts an integer number of ticks
+    per call, so chunked multi-hour runs with a non-representable
+    ``tick_s`` land on exact totals — the old float-epsilon loop
+    (``while now < end``) could gain or lose a tick per call."""
+    host = small_host(tick_s=0.1)
+    for _ in range(24):
+        host.run(300.0)  # two hours, fed in 5-minute chunks
+    assert host.tick_count == 72_000
+    assert host.clock.now == pytest.approx(7200.0)
+
+
 def test_metrics_recorded_each_tick():
     host = small_host()
     host.add_workload(Workload, profile=profile(), name="app")

@@ -76,6 +76,19 @@ def test_recorder_unknown_series_is_empty():
     assert len(rec.series("missing")) == 0
 
 
+def test_recorder_series_is_registered_not_detached():
+    """Regression: fetching an unknown name used to return a detached
+    throwaway Series, so samples recorded on it silently vanished."""
+    rec = MetricsRecorder()
+    series = rec.series("latency")
+    series.record(0.0, 1.5)
+    assert "latency" in rec
+    assert rec.series("latency") is series
+    assert rec.series("latency").values == [1.5]
+    rec.record("latency", 1.0, 2.5)  # recorder writes land on it too
+    assert series.values == [1.5, 2.5]
+
+
 def test_recorder_summary():
     rec = MetricsRecorder()
     rec.record("a", 0.0, 2.0)
