@@ -36,7 +36,7 @@ lint:
 		echo "== mypy not installed, skipping (pip install -e .[lint])"; \
 	fi
 	@echo "== repro.lint"
-	$(PYTHON) -m repro.lint --flow
+	$(PYTHON) -m repro.lint --flow --stats lint-stats.json
 
 # The benchmark harness (docs/PERFORMANCE.md): run the scenario
 # matrix, write BENCH_5.json and gate against the committed baseline's

@@ -65,8 +65,10 @@ class LatencyReservoir:
         if capacity_entries < 1:
             raise ValueError("reservoir capacity must be >= 1")
         self.capacity_entries = capacity_entries
-        self._buf = np.empty(capacity_entries, dtype=np.float64)
-        self._count = 0
+        self._buf = np.empty(  # tmo-lint: transient -- via set_samples()
+            capacity_entries, dtype=np.float64
+        )
+        self._count = 0  # tmo-lint: transient -- restored by set_samples()
         self._next = 0
 
     def add(self, latency_s: float) -> None:

@@ -23,6 +23,11 @@ from typing import Any, Dict, Optional
 
 from repro.checkpoint.snapshot import SnapshotError
 from repro.core.autotune import AutoTuneConfig, AutoTuneSenpai, _TuneState
+from repro.core.daemon import (
+    SenpaiDaemon,
+    SenpaiDaemonConfig,
+    _DaemonCgroupState,
+)
 from repro.core.oomd import Oomd, OomdConfig, _WatchState
 from repro.core.senpai import Senpai, SenpaiConfig, SloTier, _CgroupState
 from repro.core.supervisor import Supervisor, SupervisorConfig
@@ -198,6 +203,54 @@ def _decode_autotune(enc: Dict[str, Any]) -> AutoTuneSenpai:
 
 
 # ----------------------------------------------------------------------
+# file-protocol senpai daemon
+
+
+def _encode_daemon(daemon: SenpaiDaemon) -> Dict[str, Any]:
+    return {
+        "type": "SenpaiDaemon",
+        "config": {
+            "interval_s": float(daemon.config.interval_s),
+            "psi_threshold": float(daemon.config.psi_threshold),
+            "reclaim_ratio": float(daemon.config.reclaim_ratio),
+            "max_step_frac": float(daemon.config.max_step_frac),
+            "cgroups": list(daemon.config.cgroups),
+            "error_backoff_s": float(daemon.config.error_backoff_s),
+            "error_backoff_max_s": float(daemon.config.error_backoff_max_s),
+        },
+        "states": [
+            [name, int(st.last_total_us), _opt_float(st.last_poll_at_s),
+             int(st.error_streak), float(st.skip_until_s)]
+            for name, st in daemon._states.items()
+        ],
+        "next_poll": _opt_float(daemon._next_poll),
+        "skipped_reads": int(daemon.skipped_reads),
+        "failed_writes": int(daemon.failed_writes),
+    }
+
+
+def _decode_daemon(enc: Dict[str, Any]) -> SenpaiDaemon:
+    config_enc = dict(enc["config"])
+    cgroups = config_enc.pop("cgroups")
+    daemon = SenpaiDaemon(
+        SenpaiDaemonConfig(cgroups=tuple(cgroups), **config_enc)
+    )
+    daemon._states = {
+        name: _DaemonCgroupState(
+            last_total_us=int(total_us),
+            last_poll_at_s=_opt_float(poll_at),
+            error_streak=int(streak),
+            skip_until_s=float(skip_until),
+        )
+        for name, total_us, poll_at, streak, skip_until in enc["states"]
+    }
+    daemon._next_poll = _opt_float(enc["next_poll"])
+    daemon.skipped_reads = int(enc["skipped_reads"])
+    daemon.failed_writes = int(enc["failed_writes"])
+    return daemon
+
+
+# ----------------------------------------------------------------------
 # oomd
 
 
@@ -347,6 +400,7 @@ def _decode_supervisor(enc: Dict[str, Any]) -> Supervisor:
 _DECODERS = {
     "Senpai": _decode_senpai,
     "AutoTuneSenpai": _decode_autotune,
+    "SenpaiDaemon": _decode_daemon,
     "Oomd": _decode_oomd,
     "FaultInjector": _decode_injector,
     "Supervisor": _decode_supervisor,
@@ -365,6 +419,8 @@ def encode_controller(controller: Any) -> Dict[str, Any]:
         return _encode_senpai(controller)
     if type_name == "AutoTuneSenpai":
         return _encode_autotune(controller)
+    if type_name == "SenpaiDaemon":
+        return _encode_daemon(controller)
     if type_name == "Oomd":
         return _encode_oomd(controller)
     if type_name == "FaultInjector":

@@ -35,7 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="tmo-lint",
         description=(
             "Determinism & unit-discipline static analysis for the TMO "
-            "reproduction (rules TMO001-TMO012; see docs/LINTING.md)."
+            "reproduction (rules TMO001-TMO016; see docs/LINTING.md)."
         ),
     )
     parser.add_argument(
@@ -86,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="run the flow analysis without reading or writing a cache",
+    )
+    parser.add_argument(
+        "--stats", type=Path, default=None, metavar="FILE",
+        help="write a JSON rule-hit/cache-hit summary of the run to "
+             "FILE (CI uploads it next to the flow cache)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -143,6 +148,34 @@ def _list_rules() -> None:
           "file could not be parsed (always enabled)")
 
 
+def _write_stats(
+    target: Path,
+    violations: List[Violation],
+    result: LintResult,
+    flow_result,
+    stale: int,
+) -> None:
+    """Dump a machine-readable summary of the run (``--stats``)."""
+    rule_hits: dict = {}
+    for violation in violations:
+        rule_hits[violation.rule_id] = rule_hits.get(violation.rule_id, 0) + 1
+    payload = {
+        "files_checked": result.files_checked,
+        "violations_total": len(violations),
+        "rule_hits": dict(sorted(rule_hits.items())),
+        "stale_baseline_entries": stale,
+        "flow": (
+            {
+                "files_checked": flow_result.files_checked,
+                "cache_hits": flow_result.cache_hits,
+                "cache_misses": flow_result.cache_misses,
+            }
+            if flow_result is not None else None
+        ),
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _main(argv)
@@ -196,6 +229,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
         else LintResult()
     violations = list(result.violations)
 
+    flow_result = None
     if args.flow:
         cache_path = None if args.no_cache else (
             args.cache or Path(DEFAULT_CACHE)
@@ -230,6 +264,9 @@ def _main(argv: Optional[List[str]] = None) -> int:
         except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
             parser.error(f"cannot read baseline {baseline_path}: {exc}")
         violations, stale = apply_baseline(violations, baseline)
+
+    if args.stats is not None:
+        _write_stats(args.stats, violations, result, flow_result, stale)
 
     if args.format == "json":
         print(json.dumps(

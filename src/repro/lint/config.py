@@ -25,7 +25,7 @@ _ALL_RULES = frozenset(
     {"TMO001", "TMO002", "TMO003", "TMO004",
      "TMO005", "TMO006", "TMO007", "TMO008",
      "TMO009", "TMO010", "TMO011", "TMO012",
-     "TMO013"}
+     "TMO013", "TMO014", "TMO015", "TMO016"}
 )
 
 #: Rules enforced outside the simulator core: seed discipline and
@@ -37,12 +37,14 @@ _ALL_RULES = frozenset(
 #: bugs in the simulator.
 _HARNESS_RULES = frozenset(
     {"TMO001", "TMO002", "TMO003", "TMO005", "TMO007", "TMO008",
-     "TMO009", "TMO010", "TMO011", "TMO012"}
+     "TMO009", "TMO010", "TMO011", "TMO012", "TMO016"}
 )
 
 #: Tests probe components with hand-built RNGs and error paths, so only
-#: the unconditional hygiene rules apply.
-_TEST_RULES = frozenset({"TMO005", "TMO008"})
+#: the unconditional hygiene rules apply — plus metric-registry drift
+#: (TMO016): a test recording or reading a misspelled metric name
+#: silently asserts against an always-empty series.
+_TEST_RULES = frozenset({"TMO005", "TMO008", "TMO016"})
 
 
 @dataclass
@@ -109,6 +111,52 @@ def default_config() -> LintConfig:
                     "repro.analysis.export.to_csv_wide",
                 ),
                 "sink_method_names": ("record",),
+            },
+            # State contracts (LINTING.md "State contracts" section).
+            "TMO014": {
+                # Modules whose attribute mentions count as codec
+                # coverage for checkpoint round-trips.
+                "codec_modules": (
+                    "repro.checkpoint.codec",
+                    "repro.checkpoint.controllers",
+                ),
+                # Packages holding checkpointable simulation state.
+                "state_roots": (
+                    "repro.sim.",
+                    "repro.core.",
+                    "repro.backends.",
+                    "repro.psi.",
+                    "repro.workloads.",
+                    "repro.faults.",
+                ),
+                # Classes the codec refuses wholesale at snapshot time
+                # (trace workloads hold open recorders/replays), so
+                # attribute-level coverage is moot.
+                "exempt_class_suffixes": (
+                    "workloads.trace.RecordingWorkload",
+                    "workloads.trace.ReplayWorkload",
+                ),
+                # Per-class attribute allowlist for derived/scratch
+                # state (equivalent to inline '# tmo-lint: transient').
+                "transient_attrs": {},
+            },
+            "TMO015": {
+                # Functions executed inside ProcessPool workers.
+                "worker_entrypoints": (
+                    "repro.core.fleet._run_fleet_host",
+                ),
+            },
+            "TMO016": {
+                "record_sink_suffixes": (
+                    "repro.sim.metrics.MetricsRecorder.record",
+                    "repro.sim.metrics.Series.record",
+                ),
+                "record_method_names": ("record",),
+                "read_sink_suffixes": (
+                    "repro.sim.metrics.MetricsRecorder.series",
+                    "repro.sim.metrics.MetricsRecorder.summary",
+                ),
+                "read_method_names": ("series", "summary"),
             },
         },
     )

@@ -8,6 +8,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.lint import rules as _rules  # noqa: F401  (registers rules)
+from repro.lint import statecontract as _statecontract  # noqa: F401  (TMO014-016)
 from repro.lint import taint as _taint  # noqa: F401  (registers TMO012)
 from repro.lint import unitflow as _unitflow  # noqa: F401  (TMO009-011)
 from repro.lint.config import LintConfig, default_config

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
+from repro.lint import statecontract as _statecontract
 from repro.lint import taint as _taint
 from repro.lint import unitflow as _unitflow
 from repro.lint.callgraph import (
@@ -220,6 +221,10 @@ def analyze_flow(
 
     # -- pass 3: (re-)collect facts where needed ----------------------
     sink_options = config.options_for("TMO012")
+    state_options = {
+        rule_id: config.options_for(rule_id)
+        for rule_id in ("TMO014", "TMO015", "TMO016")
+    }
     for state in states:
         if state.module is None:
             continue
@@ -249,6 +254,9 @@ def analyze_flow(
             "taint": _taint.collect_module(
                 state.module, index, state.source, sink_options
             ),
+            "state": _statecontract.collect_module(
+                state.module, index, state.source, state_options
+            ),
         }
         ignores, skip_file = collect_ignores(state.source)
         state.ignores = ignores
@@ -275,6 +283,7 @@ def analyze_flow(
 
     raw = list(_unitflow.check(facts_by_path))
     raw.extend(_taint.check(facts_by_path))
+    raw.extend(_statecontract.check(facts_by_path, state_options))
     for violation in raw:
         state = ignore_map.get(violation.path)
         if state is None or state.skip_file:

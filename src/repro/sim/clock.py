@@ -25,7 +25,7 @@ class Clock:
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise ValueError(f"clock cannot start before zero, got {start}")
-        self._now = float(start)
+        self._now = float(start)  # tmo-lint: transient -- via advance_to()
 
     @property
     def now(self) -> float:

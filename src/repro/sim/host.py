@@ -139,11 +139,15 @@ class Host:
         self._prev_device_stats: Dict[str, Tuple[int, int, int]] = {}
         # Scratch buffers reused by _feed_psi every tick, so the hot
         # path allocates no per-tick lists.
-        self._psi_events: List[Tuple[float, int, PsiTask, TaskFlags]] = []
+        self._psi_events: List[  # tmo-lint: transient -- per-tick scratch
+            Tuple[float, int, PsiTask, TaskFlags]
+        ] = []
         self._psi_durations: List[float] = [0.0] * len(_SEGMENT_FLAGS)
         # Per-workload metric names, interned once instead of rebuilding
         # ~13 f-strings per workload every tick.
-        self._metric_names: Dict[str, Tuple[str, ...]] = {}
+        self._metric_names: Dict[  # tmo-lint: transient -- interned names
+            str, Tuple[str, ...]
+        ] = {}
 
         # --- devices: the filesystem SSD is always present; when the
         # backend is SSD swap, swap shares the same physical device.

@@ -1,0 +1,94 @@
+"""The declared metric-name registry (checked by ``tmo-lint --flow``).
+
+Metric names feed :func:`repro.sim.metrics.metrics_digest`, the bench
+regression gate and the chaos verdicts, so they are interface, not
+incidental strings. Every ``/``-namespaced name recorded anywhere in
+the tree must be declared here; the TMO016 lint rule statically
+collects the literals flowing into ``MetricsRecorder.record`` /
+``Series.record`` (including through wrappers and bound-method
+aliases) and fails the flow pass on drift — unregistered names,
+near-miss typos, and names recorded but never read.
+
+Adding a metric is a three-line workflow (see LINTING.md):
+
+1. declare the name below — ``METRIC_NAMES`` for a host-wide series,
+   ``PER_CGROUP_METRICS`` for a ``<cgroup>/<suffix>`` family,
+   ``DYNAMIC_NAMESPACES`` when the tail is runtime data;
+2. record it at the producing site;
+3. read it from a test or analysis — or, when it is genuinely
+   operator-facing only, list it in ``UNREAD_OK`` with a reason.
+
+Names without a ``/`` are ad-hoc local recorders (scratch series in
+tests and analyses) and are out of the registry's scope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+#: Host-wide series: full name -> one-line description.
+METRIC_NAMES: Dict[str, str] = {
+    "host/free_bytes": "free RAM on the host",
+    "host/used_bytes": "RAM in use across all cgroups",
+    "host/zswap_pool_bytes": "compressed pool size (zswap backends)",
+    "fs/read_rate": "filesystem reads per second",
+    "fs/read_latency_p90": "p90 filesystem read latency (seconds)",
+    "swap/out_rate_mb_s": "swap-out write rate (MB/s)",
+    "swap/stored_bytes": "bytes resident in the swap backend",
+    "senpai/stale": "senpai skipped a period on stale telemetry",
+    "senpai/errors": "cumulative senpai control-file error skips",
+    "senpai/degraded": "breaker state (0 closed, 0.5 half-open, 1 open)",
+    "faults/active": "number of fault-plan events currently active",
+    "supervisor/crashes": "cumulative supervised-controller crashes",
+    "supervisor/hang_kills": "cumulative watchdog kills of hung controllers",
+    "supervisor/restarts": "cumulative supervised-controller restarts",
+    "supervisor/alive": "whether the supervised controller is running",
+}
+
+#: Per-cgroup families recorded as ``<cgroup>/<suffix>``: suffix ->
+#: one-line description.
+PER_CGROUP_METRICS: Dict[str, str] = {
+    "resident_bytes": "resident set (anon + file) of the cgroup",
+    "anon_bytes": "anonymous memory charged to the cgroup",
+    "file_bytes": "file cache charged to the cgroup",
+    "swap_bytes": "swapped-out bytes charged to the cgroup",
+    "zswap_bytes": "compressed bytes charged to the cgroup",
+    "promotion_rate": "pages promoted back from swap per second",
+    "refaults": "file refaults per second",
+    "rps": "workload work units completed per second",
+    "oom": "1.0 on a tick where the cgroup OOMed",
+    "psi_mem_some_avg10": "memory some avg10 at tick time",
+    "psi_io_some_avg10": "io some avg10 at tick time",
+    "psi_mem_some_total": "cumulative memory some stall (seconds)",
+    "psi_io_some_total": "cumulative io some stall (seconds)",
+    "senpai_reclaim": "bytes senpai reclaimed from the cgroup",
+    "senpai_pressure": "pressure senpai computed for the cgroup",
+    "senpai_ratio": "auto-tuned reclaim ratio for the cgroup",
+    "gswap_reclaim": "bytes gswap reclaimed from the cgroup",
+    "memory_max": "memory.max limit applied by the limits controller",
+}
+
+#: Namespaces whose tails are runtime data (``faults/<event kind>``):
+#: namespace -> one-line description.
+DYNAMIC_NAMESPACES: Dict[str, str] = {
+    "faults": "per-kind fault-injection activity, keyed by event kind",
+}
+
+#: Declared names that are recorded for operators (CSV exports,
+#: dashboards) without a reader in the test/analysis tree.
+UNREAD_OK: FrozenSet[str] = frozenset({
+    # Host dashboards: exported to CSV for figure plots, asserted
+    # only indirectly through the metrics digest.
+    "host/used_bytes",
+    "host/zswap_pool_bytes",
+    "fs/read_rate",
+    "swap/stored_bytes",
+    # Per-cgroup families sampled by exports, not read individually.
+    "anon_bytes",
+    "zswap_bytes",
+    "refaults",
+    "psi_io_some_avg10",
+    "psi_mem_some_total",
+    "psi_io_some_total",
+    "gswap_reclaim",
+})

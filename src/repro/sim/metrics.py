@@ -46,11 +46,13 @@ class Series:
             )
         n = len(times)
         capacity = max(_INITIAL_CAPACITY, n)
-        self._t_buf = np.empty(capacity, dtype=np.float64)
-        self._v_buf = np.empty(capacity, dtype=np.float64)
+        # tmo-lint: transient markers: the checkpoint codec round-trips
+        # a series through the times/values properties, not the buffers.
+        self._t_buf = np.empty(capacity, dtype=np.float64)  # tmo-lint: transient
+        self._v_buf = np.empty(capacity, dtype=np.float64)  # tmo-lint: transient
         self._t_buf[:n] = times
         self._v_buf[:n] = values
-        self._n = n
+        self._n = n  # tmo-lint: transient -- restored via times/values
 
     @property
     def times(self) -> List[float]:

@@ -87,9 +87,9 @@ class Workload:
         # and dt are unchanged. Paths that replace ``_intervals`` (start,
         # growth, restart, resize) are caught by the identity check;
         # in-place mutation (shift_workingset) invalidates explicitly.
-        self._probs = np.empty(0)
-        self._probs_for: object = None
-        self._probs_dt = -1.0
+        self._probs = np.empty(0)  # tmo-lint: transient -- memo cache
+        self._probs_for: object = None  # tmo-lint: transient -- memo cache
+        self._probs_dt = -1.0  # tmo-lint: transient -- memo cache
         self._growth_carry = 0.0
         self._pending_spike_pages = 0
         self.started = False

@@ -1,0 +1,13 @@
+"""Checkpoint codec for the fixture: round-trips Tracker only."""
+
+
+def encode(tracker) -> dict:
+    return {
+        "count": int(tracker.count),
+        "samples": list(tracker.samples),
+    }
+
+
+def apply(tracker, enc) -> None:
+    tracker.count = int(enc["count"])
+    tracker.samples = list(enc["samples"])

@@ -1,0 +1,22 @@
+"""Metric producers for the TMO016 fixture (typos at pinned lines)."""
+
+from statepkg.metrics import Recorder
+
+
+def _emit(rec: Recorder, name: str, now: float, value: float) -> None:
+    rec.record(name, now, value)
+
+
+def publish(rec: Recorder, now: float) -> None:
+    rec.record("senpai/stale_skps", now, 1.0)  # line 11: misspelled
+    rec.record("senpai/errors", now, 2.0)
+    rec.record("senpai/unwatched", now, 3.0)  # line 13: never read
+    _emit(rec, "web/reclaim", now, 4.0)
+    _emit(rec, "web/reclam", now, 5.0)  # line 15: typo through wrapper
+
+
+def sweep(rec: Recorder, cgroup: str, now: float) -> None:
+    rec.record(f"{cgroup}/reclaim", now, 0.0)
+    rec.record(f"{cgroup}/promoted", now, 0.0)  # line 20: bad suffix
+    rec.record(f"faults/{cgroup}", now, 0.0)
+    rec.record(f"chaos/{cgroup}", now, 0.0)  # line 22: bad namespace

@@ -1,0 +1,14 @@
+"""Recorder facade for the TMO016 metric-registry fixture."""
+
+
+class Recorder:
+    """A minimal stand-in for the simulator's MetricsRecorder."""
+
+    def __init__(self) -> None:
+        self.rows = []
+
+    def record(self, name: str, t: float, value: float) -> None:
+        self.rows.append((name, t, value))
+
+    def series(self, name: str):
+        return [row for row in self.rows if row[0] == name]

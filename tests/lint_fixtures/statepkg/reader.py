@@ -1,0 +1,9 @@
+"""Metric readers: what the unread-metric check counts as coverage."""
+
+from statepkg.metrics import Recorder
+
+
+def check(rec: Recorder) -> int:
+    reclaimed = rec.series("web/reclaim")
+    stale = rec.series("senpai/stale_skips")
+    return len(reclaimed) + len(stale)

@@ -1,0 +1,19 @@
+"""Declared metric registry for the fixture package."""
+
+METRIC_NAMES = {
+    "senpai/stale_skips": "periods skipped on stale telemetry",
+    "senpai/errors": "cumulative control-file error skips",
+    "senpai/unwatched": "registered but never read by any test",
+}
+
+PER_CGROUP_METRICS = {
+    "reclaim": "bytes reclaimed from the cgroup",
+}
+
+DYNAMIC_NAMESPACES = {
+    "faults": "per-kind fault activity, keyed by event kind",
+}
+
+UNREAD_OK = frozenset({
+    "senpai/errors",
+})

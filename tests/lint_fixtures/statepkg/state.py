@@ -1,0 +1,37 @@
+"""Stateful classes for the TMO014 checkpoint-coverage fixture."""
+
+
+class Tracker:
+    """Fully covered: the fixture codec round-trips both fields."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.samples = []
+
+    def bump(self, value: float) -> None:
+        self.count += 1
+        self.samples.append(value)
+
+
+class Leaky(Tracker):
+    """Inherits covered fields, adds two uncovered mutable ones."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.backlog = {}  # line 21: mutable container, not in codec
+
+    def advance(self, now: float) -> None:
+        self.last_seen = now  # line 24: evolves outside __init__
+
+    def rebuild(self) -> None:
+        self._cache = {}  # tmo-lint: transient -- derived from samples
+
+
+class Ephemeral:
+    """Exempted wholesale via exempt_class_suffixes in the test."""
+
+    def __init__(self) -> None:
+        self.log = []
+
+    def note(self, line: str) -> None:
+        self.log.append(line)

@@ -1,0 +1,32 @@
+"""ProcessPool worker path for the TMO015 process-safety fixture."""
+
+#: Memoized per-process results: the bug TMO015 exists to catch.
+_RESULTS = {}
+
+#: Read-only configuration table: reads of this are fine everywhere.
+_LIMITS = {"hosts": 4}
+
+
+def _capacity() -> int:
+    return _LIMITS["hosts"]
+
+
+def _lookup(plan):
+    return _RESULTS.get(plan)  # line 15: read of mutated global
+
+
+def run_host(plan):
+    """The fixture's worker entrypoint (declared in the test config)."""
+    if _capacity() < 1:
+        return None
+    cached = _lookup(plan)
+    if cached is not None:
+        return cached
+    result = len(str(plan))
+    _RESULTS[plan] = result  # line 26: write from worker-reachable code
+    return result
+
+
+def reset_serial_state() -> None:
+    """Not reachable from the worker: its write is not flagged."""
+    _RESULTS.clear()
