@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test chaos crash-equivalence bench bench-quick bench-pytest bench-tables examples docs lint all
+.PHONY: install test chaos crash-equivalence bench bench-quick bench-pytest bench-tables examples docs lint profile all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -37,6 +37,15 @@ lint:
 	fi
 	@echo "== repro.lint"
 	$(PYTHON) -m repro.lint --flow --stats lint-stats.json
+
+# Profile-guided hot-path lint (docs/LINTING.md, "Hot paths"): write
+# the per-function tick-share profile of the warmed microbench, then
+# check it against the static hot region — findings in measured-hot
+# functions escalate, and measured-hot functions the call graph cannot
+# reach fail the run.
+profile:
+	$(PYTHON) -m repro bench --profile
+	$(PYTHON) -m repro.lint --flow --profile BENCH_profile.json
 
 # The benchmark harness (docs/PERFORMANCE.md): run the scenario
 # matrix, write BENCH_5.json and gate against the committed baseline's

@@ -561,6 +561,11 @@ def _apply_controlfs(host, enc: Dict[str, Any]) -> None:
         trig.fire_count = int(fire_count)
         triggers[(cgroup_name, filename)] = trig
     controlfs._triggers = triggers
+    # Derived path memo (see ControlFs.__init__) must track _triggers.
+    controlfs._trigger_paths = {
+        (cgroup_name, filename): f"{cgroup_name}/{filename}"
+        for cgroup_name, filename in triggers
+    }
 
 
 # ----------------------------------------------------------------------

@@ -281,14 +281,35 @@ def _cmd_bench(args) -> int:
     from repro.perf import (
         BENCH_SEED,
         DEFAULT_TOLERANCE,
+        PROFILE_DEFAULT_OUT,
         check_regression,
         format_report,
         load_report,
         run_bench,
+        run_profile,
+        write_profile,
         write_report,
     )
 
     seed = BENCH_SEED if args.seed is None else args.seed
+
+    if args.profile:
+        out = args.out if args.out != "BENCH_5.json" else PROFILE_DEFAULT_OUT
+        steps = args.profile_steps
+        if args.quick:
+            steps = min(steps, 200)
+        print(f"profiling {steps} microbench ticks (seed {seed}) ...")
+        document = run_profile(seed=seed, steps=steps)
+        write_profile(document, out)
+        shown = document["functions"][:10]
+        for entry in shown:
+            print(f"  {entry['tick_share']:7.2%}  "
+                  f"{entry['file']}:{entry['line']} {entry['name']}")
+        print(f"profile written to {out} "
+              f"({len(document['functions'])} functions); check with "
+              f"'tmo-lint --flow --profile {out}'")
+        return 0
+
     tolerance = (
         DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
     )
@@ -469,6 +490,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workers", type=int, default=4,
                        help="worker processes for the parallel fleet "
                             "scenario (default 4)")
+    bench.add_argument("--profile", action="store_true",
+                       help="instead of the scenario matrix, run the "
+                            "tick microbench under cProfile and write "
+                            "the per-function tick-share profile "
+                            "(default out: BENCH_profile.json) for "
+                            "'tmo-lint --flow --profile'")
+    bench.add_argument("--profile-steps", type=int, default=2000,
+                       help="ticks to profile with --profile "
+                            "(default 2000)")
     return parser
 
 

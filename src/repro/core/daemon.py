@@ -84,6 +84,18 @@ class SenpaiDaemon:
         self.config = config
         self._states: Dict[str, _DaemonCgroupState] = {}
         self._next_poll: Optional[float] = None
+        # The managed cgroup set is fixed at construction, so every
+        # control-file path is formatted exactly once here instead of
+        # on each poll of each cgroup (TMO018).
+        self._pressure_path = {  # tmo-lint: transient -- derived from config
+            c: f"{c}/memory.pressure" for c in config.cgroups
+        }
+        self._current_path = {  # tmo-lint: transient -- derived from config
+            c: f"{c}/memory.current" for c in config.cgroups
+        }
+        self._reclaim_path = {  # tmo-lint: transient -- derived from config
+            c: f"{c}/memory.reclaim" for c in config.cgroups
+        }
         #: Pressure/current reads dropped as unreadable or malformed.
         self.skipped_reads = 0
         #: memory.reclaim writes the control surface rejected.
@@ -107,7 +119,7 @@ class SenpaiDaemon:
                 state = self._state(cgroup)
                 try:
                     text = host.controlfs.read(
-                        f"{cgroup}/memory.pressure", now
+                        self._pressure_path[cgroup], now
                     )
                     state.last_total_us = parse_some_total_us(text)
                     state.last_poll_at_s = now
@@ -127,9 +139,9 @@ class SenpaiDaemon:
             return
         fs = host.controlfs
         try:
-            text = fs.read(f"{cgroup}/memory.pressure", now)
+            text = fs.read(self._pressure_path[cgroup], now)
             total_us = parse_some_total_us(text)
-            current = int(fs.read(f"{cgroup}/memory.current", now))
+            current = int(fs.read(self._current_path[cgroup], now))
         except (ControlFileError, ValueError):
             # Unreadable cgroup or garbage pressure text: skip the
             # period and back off; never act on a partial sample.
@@ -158,7 +170,7 @@ class SenpaiDaemon:
         )
         if step > 0:
             try:
-                fs.write(f"{cgroup}/memory.reclaim", str(step), now)
+                fs.write(self._reclaim_path[cgroup], str(step), now)
             except ControlFileError:
                 self.failed_writes += 1
                 self._back_off(state, now)

@@ -89,11 +89,22 @@ class GSwapController:
         self.config = config
         self._states: Dict[str, _GswapState] = {}
         self._next_poll: Optional[float] = None
+        # cgroup -> memoized metric-series name; formatting stays out
+        # of the per-cgroup poll loop (TMO018). Rebuilt lazily, so a
+        # restored controller just re-memoizes.
+        self._metric_names: Dict[str, str] = {}  # tmo-lint: transient -- name memo
 
     def _targets(self, host):
         if self.config.cgroups is not None:
             return list(self.config.cgroups)
         return [h.cgroup_name for h in host.hosted()]
+
+    def _reclaim_metric(self, cgroup: str) -> str:
+        name = self._metric_names.get(cgroup)
+        if name is None:
+            name = f"{cgroup}/gswap_reclaim"
+            self._metric_names[cgroup] = name
+        return name
 
     def poll(self, host, now: float) -> None:
         if self._next_poll is None:
@@ -122,7 +133,7 @@ class GSwapController:
                 state.step_frac = max(
                     1e-5, state.step_frac * self.config.decrease_factor
                 )
-                host.metrics.record(f"{cgroup}/gswap_reclaim", now, 0.0)
+                host.metrics.record(self._reclaim_metric(cgroup), now, 0.0)
                 continue
             state.step_frac = min(
                 self.config.max_step_frac,
@@ -132,5 +143,5 @@ class GSwapController:
             target = int(current * state.step_frac)
             outcome = host.mm.memory_reclaim(cgroup, target, now)
             host.metrics.record(
-                f"{cgroup}/gswap_reclaim", now, outcome.reclaimed_bytes
+                self._reclaim_metric(cgroup), now, outcome.reclaimed_bytes
             )

@@ -55,11 +55,22 @@ class LimitSenpai:
         self.config = config
         self._states: Dict[str, _LimitState] = {}
         self._next_poll: Optional[float] = None
+        # cgroup -> memoized metric-series name; formatting stays out
+        # of the per-cgroup poll loop (TMO018). Rebuilt lazily, so a
+        # restored controller just re-memoizes.
+        self._metric_names: Dict[str, str] = {}  # tmo-lint: transient -- name memo
 
     def _targets(self, host):
         if self.config.cgroups is not None:
             return list(self.config.cgroups)
         return [h.cgroup_name for h in host.hosted()]
+
+    def _limit_metric(self, cgroup: str) -> str:
+        name = self._metric_names.get(cgroup)
+        if name is None:
+            name = f"{cgroup}/memory_max"
+            self._metric_names[cgroup] = name
+        return name
 
     def poll(self, host, now: float) -> None:
         if self._next_poll is None:
@@ -99,4 +110,4 @@ class LimitSenpai:
             else:
                 new_limit = int(limit * (1.0 + self.config.grow_frac))
             host.mm.set_memory_max(cgroup, new_limit, now)
-            host.metrics.record(f"{cgroup}/memory_max", now, new_limit)
+            host.metrics.record(self._limit_metric(cgroup), now, new_limit)

@@ -106,6 +106,9 @@ class ControlFs:
         self.mm = mm
         self.psi = psi
         self._triggers: Dict[Tuple[str, str], PsiTrigger] = {}
+        # (cgroup, file) -> "<cgroup>/<file>", formatted at trigger
+        # registration so poll() never builds strings per tick (TMO018).
+        self._trigger_paths: Dict[Tuple[str, str], str] = {}
         #: Telemetry-fault seam; healthy by default.
         self.faults = ControlFsFaultState()
         #: Last text served per pressure file, for the frozen mode.
@@ -231,6 +234,9 @@ class ControlFs:
             group = self.psi.group(cgroup_name)
             trigger = PsiTrigger(group, spec, now)
             self._triggers[(cgroup_name, filename)] = trigger
+            self._trigger_paths[(cgroup_name, filename)] = (
+                f"{cgroup_name}/{filename}"
+            )
             return
         raise ControlFileError(
             f"control file {filename!r} is not writable"
@@ -251,7 +257,7 @@ class ControlFs:
     def poll(self, now: float):
         """Update all registered triggers; return fired (path-keyed)."""
         fired = []
-        for (cgroup_name, filename), trigger in self._triggers.items():
+        for key, trigger in self._triggers.items():
             if trigger.update(now):
-                fired.append(f"{cgroup_name}/{filename}")
+                fired.append(self._trigger_paths[key])
         return fired

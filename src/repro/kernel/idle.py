@@ -119,7 +119,7 @@ class IdlePageTracker:
         counts = np.bincount(bucket_index, minlength=len(edges) + 1)
         return AgeHistogram(
             edges=edges,
-            counts=[int(c) for c in counts],
+            counts=counts.tolist(),
             total_pages=len(ages),
         )
 

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+from repro.lint import hotpath as _hotpath  # noqa: F401  (TMO017-021)
 from repro.lint import rules as _rules  # noqa: F401  (registers rules)
 from repro.lint import statecontract as _statecontract  # noqa: F401  (TMO014-016)
 from repro.lint import taint as _taint  # noqa: F401  (registers TMO012)
@@ -26,6 +28,9 @@ class LintResult:
 
     violations: List[Violation] = field(default_factory=list)
     files_checked: int = 0
+    #: accumulated wall seconds per rule id across all files
+    #: (surfaced by ``tmo-lint --stats`` as ``rule_wall_s``).
+    rule_wall_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -60,6 +65,7 @@ def lint_file(
     path: Path,
     config: Optional[LintConfig] = None,
     select: Optional[Iterable[str]] = None,
+    rule_wall: Optional[Dict[str, float]] = None,
 ) -> List[Violation]:
     """Lint one file.
 
@@ -68,6 +74,9 @@ def lint_file(
         config: rule sets and options; the repo default when None.
         select: run exactly these rule ids, overriding the per-scope
             configuration (the CLI's ``--select``).
+        rule_wall: when given, per-rule wall seconds are accumulated
+            into it (``lint_paths`` threads the result's counter
+            through here for ``--stats``).
     """
     config = config or default_config()
     rel = path.as_posix()
@@ -105,9 +114,13 @@ def lint_file(
             source=source,
             options=config.options_for(rule_id),
         )
+        start = time.perf_counter()  # lint: ignore[TMO002]
         for violation in rule_cls().check(ctx):
             if not is_suppressed(ignores, violation.line, rule_id):
                 findings.append(violation)
+        if rule_wall is not None:
+            elapsed = time.perf_counter() - start  # lint: ignore[TMO002]
+            rule_wall[rule_id] = rule_wall.get(rule_id, 0.0) + elapsed
     findings.sort(key=Violation.sort_key)
     return findings
 
@@ -121,7 +134,9 @@ def lint_paths(
     config = config or default_config()
     result = LintResult()
     for path in iter_python_files(paths, config):
-        result.violations.extend(lint_file(path, config, select))
+        result.violations.extend(
+            lint_file(path, config, select, rule_wall=result.rule_wall_s)
+        )
         result.files_checked += 1
     result.violations.sort(key=Violation.sort_key)
     return result

@@ -25,10 +25,12 @@ from __future__ import annotations
 import ast
 import hashlib
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
+from repro.lint import hotpath as _hotpath
 from repro.lint import statecontract as _statecontract
 from repro.lint import taint as _taint
 from repro.lint import unitflow as _unitflow
@@ -46,7 +48,7 @@ from repro.lint.ignores import collect_ignores, is_suppressed
 from repro.lint.registry import RULES
 from repro.lint.violations import Violation
 
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 DEFAULT_CACHE = ".tmo-lint-cache.json"
 
 
@@ -62,10 +64,17 @@ class FlowResult:
     files_checked: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: wall seconds per flow pass (phase A collection + phase B check),
+    #: keyed "unitflow"/"taint"/"state"/"hotpath" — surfaced by --stats.
+    pass_wall_s: Dict[str, float] = field(default_factory=dict)
+    #: profile cross-check results (``tmo-lint --flow --profile``):
+    #: functions measured hot but outside the static hot region, each
+    #: ``{"key", "share", "path", "line"}``.
+    hot_unanalyzed: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.hot_unanalyzed
 
 
 @dataclass
@@ -161,12 +170,16 @@ def analyze_flow(
     config: Optional[LintConfig] = None,
     select: Optional[Iterable[str]] = None,
     cache_path: Optional[Path] = None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> FlowResult:
     """Run the interprocedural passes over ``paths``.
 
     ``select`` restricts reported rules (same contract as the engine's
     ``--select``); the analysis itself always runs in full so the
-    cache stays coherent regardless of rule selection.
+    cache stays coherent regardless of rule selection. ``profile`` is
+    a loaded tick-share document (:func:`repro.lint.hotpath.
+    load_profile`): findings in measured-hot functions are escalated
+    and ``FlowResult.hot_unanalyzed`` is populated.
     """
     config = config or default_config()
     result = FlowResult()
@@ -225,6 +238,19 @@ def analyze_flow(
         rule_id: config.options_for(rule_id)
         for rule_id in ("TMO014", "TMO015", "TMO016")
     }
+    hot_options = {
+        rule_id: config.options_for(rule_id)
+        for rule_id in ("TMO017", "TMO018", "TMO019", "TMO020", "TMO021")
+    }
+    pass_wall = {"unitflow": 0.0, "taint": 0.0, "state": 0.0,
+                 "hotpath": 0.0}
+
+    def _timed(pass_name: str, thunk):
+        start = time.perf_counter()  # lint: ignore[TMO002]
+        value = thunk()
+        pass_wall[pass_name] += time.perf_counter() - start  # lint: ignore[TMO002]
+        return value
+
     for state in states:
         if state.module is None:
             continue
@@ -247,16 +273,20 @@ def analyze_flow(
             index.add(state.module)
         assert state.source is not None
         state.module.tree = state.tree
+        module, source = state.module, state.source
         state.facts = {
-            "unit": _unitflow.collect_module(
-                state.module, index, state.source
-            ),
-            "taint": _taint.collect_module(
-                state.module, index, state.source, sink_options
-            ),
-            "state": _statecontract.collect_module(
-                state.module, index, state.source, state_options
-            ),
+            "unit": _timed("unitflow", lambda: _unitflow.collect_module(
+                module, index, source
+            )),
+            "taint": _timed("taint", lambda: _taint.collect_module(
+                module, index, source, sink_options
+            )),
+            "state": _timed("state", lambda: _statecontract.collect_module(
+                module, index, source, state_options
+            )),
+            "hot": _timed("hotpath", lambda: _hotpath.collect_module(
+                module, index, source, hot_options
+            )),
         }
         ignores, skip_file = collect_ignores(state.source)
         state.ignores = ignores
@@ -281,9 +311,14 @@ def analyze_flow(
         if state.parse_error is not None:
             findings.append(state.parse_error)
 
-    raw = list(_unitflow.check(facts_by_path))
-    raw.extend(_taint.check(facts_by_path))
-    raw.extend(_statecontract.check(facts_by_path, state_options))
+    raw = _timed("unitflow", lambda: list(_unitflow.check(facts_by_path)))
+    raw.extend(_timed("taint", lambda: list(_taint.check(facts_by_path))))
+    raw.extend(_timed("state", lambda: list(
+        _statecontract.check(facts_by_path, state_options)
+    )))
+    raw.extend(_timed("hotpath", lambda: list(
+        _hotpath.check(facts_by_path, hot_options, profile=profile)
+    )))
     for violation in raw:
         state = ignore_map.get(violation.path)
         if state is None or state.skip_file:
@@ -301,6 +336,11 @@ def analyze_flow(
 
     findings.sort(key=Violation.sort_key)
     result.violations = findings
+    if profile is not None:
+        result.hot_unanalyzed = _timed("hotpath", lambda: (
+            _hotpath.hot_unanalyzed(facts_by_path, hot_options, profile)
+        ))
+    result.pass_wall_s = dict(pass_wall)
 
     _save_cache(cache_path, states, interface_digest)
     return result

@@ -1,0 +1,1218 @@
+"""Hot-path performance analysis (rules TMO017-TMO021).
+
+The tick loop is the product: fleet-scale claims only hold if
+``Host.step`` stays fast, and the columnar-kernel roadmap keeps
+replacing scalar per-page work with batched/vectorized kernels. This
+pass is the static guardrail that keeps those wins from quietly
+regressing. It runs as part of ``tmo-lint --flow`` with the same
+two-phase scheme as the other flow passes: phase A
+(:func:`collect_module`) records JSON-serialisable facts per file
+(cached on disk by the flow driver), phase B (:func:`check`) evaluates
+them whole-program.
+
+**The hot region.** Phase B computes every function reachable from the
+configured entrypoints (``Host.step``, ``MemoryManager.touch_batch``,
+the reclaim/scan entrypoints) over the project call graph. Resolved
+calls follow their exact edge; a reachable class constructor widens to
+every method of the class (a hot function that builds an object may
+call anything on it); and *unresolved* method calls — the
+``hosted.workload.tick(...)`` shape the resolver cannot type — widen
+by method name to every project method of that name under the
+configured ``hot_roots`` package prefixes. The widening is what keeps
+the static region honest against the profile cross-check below.
+Findings are only reported inside the region, and only for functions
+under ``hot_roots``.
+
+**The rules.**
+
+* **TMO017 scalar-page-loop** — a call, inside a loop in a hot
+  function, to a scalar API that the batched-API registry
+  (:mod:`repro.perf.batched`) maps to a batched equivalent. The
+  batched implementation itself may call its scalar fallback.
+* **TMO018 hot-loop-alloc** — list/dict/set/comprehension
+  construction, lambda definition, or string formatting inside a loop
+  in a hot function. Error paths (``raise``/``assert``) are exempt;
+  justified allocations are suppressed inline with
+  ``# tmo-lint: alloc-ok -- <reason>``.
+* **TMO019 quadratic-scan** — ``x in <list>`` membership tests,
+  ``.index()`` calls, and nested loops over the same collection,
+  inside loops in hot functions.
+* **TMO020 numpy-scalarization** — element-wise Python iteration over
+  tracked numpy arrays (``for x in arr``, per-index subscripts in
+  loops, ``.tolist()``/``.item()`` in loops). Arrays are tracked from
+  ``np.*`` constructor calls, ``np.ndarray`` annotations, and calls to
+  project functions whose return annotation is an ndarray.
+* **TMO021 scalar-fallback-call** — any hot-region call to a scalar
+  API the registry marks superseded, loop or not.
+
+**The registry.** :mod:`repro.perf.batched` declares
+``BATCHED_EQUIVALENTS`` (scalar key -> batched key) and
+``SUPERSEDED_SCALAR_APIS`` as literal tables; phase A parses them from
+the AST. Because the tables live in an analysed source file, editing
+them changes that file's content hash, and phase B (always recomputed)
+re-evaluates TMO017/TMO021 against every cached file.
+
+**Profile mode.** ``python -m repro bench --profile`` writes a
+schema-versioned per-function tick-share profile
+(:data:`PROFILE_SCHEMA_VERSION`); ``tmo-lint --flow --profile <file>``
+escalates findings in functions measured above
+``profile_share_threshold`` and reports **hot-but-unanalyzed**
+functions — measured hot but not reachable in the static hot region —
+so the call graph and reality cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from pathlib import Path
+from typing import (
+    Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple,
+)
+
+from repro.lint.callgraph import (
+    ModuleInfo,
+    ModuleResolver,
+    ProjectIndex,
+    collect_self_attr_classes,
+)
+from repro.lint.registry import register
+from repro.lint.unitflow import FlowRule
+from repro.lint.violations import Violation
+
+#: Schema version of the ``BENCH_profile.json`` tick-share document
+#: written by ``python -m repro bench --profile`` (see
+#: :mod:`repro.perf.profile`, which imports this constant — the lint
+#: pass owns the contract it consumes).
+PROFILE_SCHEMA_VERSION = 1
+
+#: Default ``profile_share_threshold``: functions at or above this
+#: cumulative share of profiled tick time are "measured hot".
+DEFAULT_PROFILE_SHARE = 0.05
+
+#: Inline annotation exempting one allocation line from TMO018:
+#:     names = {}  # tmo-lint: alloc-ok -- memoized, grows once per key
+_ALLOC_OK_RE = re.compile(r"#\s*tmo-lint:\s*alloc-ok\b")
+
+#: Module-level literal tables a batched-API registry module declares.
+_REGISTRY_BATCHED = "BATCHED_EQUIVALENTS"
+_REGISTRY_SUPERSEDED = "SUPERSEDED_SCALAR_APIS"
+
+#: Method names excluded from the unresolved-call name widening:
+#: overwhelmingly builtin container/string methods whose project
+#: namesakes (if any) would drag unrelated code into the hot region.
+#: Deliberately NOT here: ``update`` — PSI running averages and
+#: triggers fold samples through ``update`` methods that the tick-share
+#: profile measures hot, and a subscripted receiver
+#: (``self._avgs[state].update(...)``) defeats exact resolution, so
+#: those calls must stay widenable.
+_WIDEN_STOPLIST = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "setdefault", "add", "discard", "appendleft", "extendleft",
+    "popleft", "move_to_end", "sort", "reverse", "get", "items", "keys",
+    "values", "copy", "join", "split", "strip", "format", "startswith",
+    "endswith", "replace", "lower", "upper", "encode", "decode", "read",
+    "write", "readline", "close", "flush", "most_common",
+})
+
+#: ``.method()`` calls on a tracked array that scalarize it.
+_SCALARIZE_METHODS = frozenset({"tolist", "item"})
+
+#: Assignment sources that produce a plain Python list (TMO019
+#: membership tests against these are linear scans).
+_LIST_CTORS = frozenset({"list", "sorted"})
+
+
+class ProfileError(ValueError):
+    """A tick-share profile could not be read or has the wrong schema."""
+
+
+def load_profile(path: "Path | str") -> Dict[str, Any]:
+    """Read and validate a ``BENCH_profile.json`` document.
+
+    Raises :class:`ProfileError` with a one-line message on a missing
+    or unreadable file, invalid JSON, or a schema-version mismatch.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        reason = exc.strerror or exc.__class__.__name__
+        raise ProfileError(
+            f"cannot read profile {path}: {reason}"
+        ) from exc
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ProfileError(f"{path}: not valid JSON ({exc})") from exc
+    version = data.get("schema_version") if isinstance(data, dict) else None
+    if version != PROFILE_SCHEMA_VERSION:
+        raise ProfileError(
+            f"{path}: profile schema_version {version!r} != "
+            f"{PROFILE_SCHEMA_VERSION}; regenerate with "
+            "'python -m repro bench --profile'"
+        )
+    if not isinstance(data.get("functions"), list):
+        raise ProfileError(f"{path}: profile has no 'functions' list")
+    return data
+
+
+def _alloc_ok_lines(source: str) -> Set[int]:
+    """Physical lines carrying a ``# tmo-lint: alloc-ok`` comment."""
+    lines: Set[int] = set()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            if _ALLOC_OK_RE.search(token.string):
+                lines.add(token.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return set()
+    return lines
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _string_pairs(node: ast.AST) -> Optional[Dict[str, str]]:
+    """str->str entries of a literal dict."""
+    if not isinstance(node, ast.Dict):
+        return None
+    out: Dict[str, str] = {}
+    for key, value in zip(node.keys, node.values):
+        if not (
+            isinstance(key, ast.Constant) and isinstance(key.value, str)
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            return None
+        out[key.value] = value.value
+    return out
+
+
+def _string_elements(node: ast.AST) -> Optional[List[str]]:
+    """String elements of a literal tuple/list/set/frozenset(...)."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if name in ("frozenset", "set", "tuple") and len(node.args) == 1:
+            node = node.args[0]
+        else:
+            return None
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        elements = list(node.elts)
+    elif isinstance(node, ast.Dict):
+        elements = [k for k in node.keys if k is not None]
+    else:
+        return None
+    out: List[str] = []
+    for element in elements:
+        if isinstance(element, ast.Constant) and isinstance(
+            element.value, str
+        ):
+            out.append(element.value)
+        else:
+            return None
+    return out
+
+
+def _collect_registry(tree: ast.Module) -> Optional[Dict[str, Any]]:
+    """Batched-API registry declarations, when the module makes any."""
+    batched: Dict[str, str] = {}
+    superseded: List[str] = []
+    found = False
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            if target.id == _REGISTRY_BATCHED:
+                pairs = _string_pairs(value)
+                if pairs is not None:
+                    batched.update(pairs)
+                    found = True
+            elif target.id == _REGISTRY_SUPERSEDED:
+                elements = _string_elements(value)
+                if elements is not None:
+                    superseded.extend(elements)
+                    found = True
+    if not found:
+        return None
+    return {"batched": batched, "superseded": superseded}
+
+
+def _is_array_annotation(node: Optional[ast.AST]) -> bool:
+    """Whether an annotation names a numpy ndarray."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return "ndarray" in node.value
+    if isinstance(node, ast.Subscript):
+        return _is_array_annotation(node.value)
+    dotted = _dotted(node)
+    return dotted is not None and dotted.split(".")[-1] == "ndarray"
+
+
+def _numpy_aliases(module: ModuleInfo) -> Set[str]:
+    """Local names bound to the numpy module (``import numpy as np``)."""
+    out: Set[str] = set()
+    for local, (kind, target) in module.imports.items():
+        if kind == "mod" and (target == "numpy"
+                              or target.startswith("numpy.")):
+            out.add(local)
+    return out
+
+
+# ----------------------------------------------------------------------
+# phase A: per-module fact collection
+
+
+class _FnWalker:
+    """Phase-A walker for one function in the hot-path pass.
+
+    Tracks loop nesting, error-path guards (``raise``/``assert``),
+    list-typed and array-typed locals, and records the raw material the
+    phase-B rules evaluate: resolved and unresolved calls (with loop
+    context), in-loop allocations, quadratic-scan shapes, and numpy
+    scalarization sites.
+    """
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        resolver: ModuleResolver,
+        lines: List[str],
+        key: str,
+        func: Optional[ast.AST],
+        self_class: Optional[str],
+        self_attr_classes: Dict[str, str],
+        np_aliases: Set[str],
+        alloc_ok: Set[int],
+        out: Dict[str, Any],
+    ) -> None:
+        self.module = module
+        self.resolver = resolver
+        self.lines = lines
+        self.key = key
+        self.self_class = self_class
+        self.self_attr_classes = self_attr_classes
+        self.np_aliases = np_aliases
+        self.alloc_ok = alloc_ok
+        self.out = out
+        self.loop_depth = 0
+        self.guard_depth = 0
+        #: iterable names of enclosing ``for`` loops (TMO019 nesting).
+        self.iter_stack: List[str] = []
+        self.local_classes: Dict[str, str] = {}
+        #: local name -> JSON origin entry ({"kind": "np"|"param"} or
+        #: {"kind": "call", "key": ...}).
+        self.array_locals: Dict[str, Dict[str, Any]] = {}
+        self.list_locals: Set[str] = set()
+        if func is not None:
+            for arg in (list(func.args.args) + list(func.args.kwonlyargs)
+                        + list(getattr(func.args, "posonlyargs", []))):
+                if arg.annotation is None:
+                    continue
+                if _is_array_annotation(arg.annotation):
+                    self.array_locals[arg.arg] = {"kind": "param"}
+                    continue
+                ann = _dotted(arg.annotation)
+                if ann:
+                    resolved = resolver.resolve_name(ann)
+                    if resolved and resolved[0] == "class":
+                        self.local_classes[arg.arg] = resolved[1]
+
+    # -- emit helpers --------------------------------------------------
+
+    def _snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def _emit(self, bucket: str, node: ast.AST, **payload) -> None:
+        payload.update(
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            snippet=self._snippet(getattr(node, "lineno", 1)),
+        )
+        self.out.setdefault(bucket, []).append(payload)
+
+    def _emit_alloc(self, node: ast.AST, what: str) -> None:
+        if self.loop_depth <= 0 or self.guard_depth > 0:
+            return
+        line = getattr(node, "lineno", 1)
+        suppressed = line in self.alloc_ok or (
+            getattr(node, "end_lineno", line) or line
+        ) in self.alloc_ok
+        self._emit("loop_allocs", node, what=what, suppressed=suppressed)
+
+    # -- the walk ------------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit(stmt)
+
+    def _visit_block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._visit(stmt)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested defs get their own walker
+        handler = getattr(
+            self, f"_visit_{type(node).__name__}", None
+        )
+        if handler is not None:
+            handler(node)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    # -- statements ----------------------------------------------------
+
+    def _visit_For(self, node: ast.For) -> None:
+        self._visit(node.iter)
+        self._note_iteration(node.iter)
+        iter_name = node.iter.id if isinstance(node.iter, ast.Name) else None
+        if iter_name is not None and iter_name in self.iter_stack:
+            self._emit(
+                "quadratic", node, what="nested-loop", name=iter_name,
+            )
+        self.loop_depth += 1
+        if iter_name is not None:
+            self.iter_stack.append(iter_name)
+        # The loop target rebinds a local; it is no longer a tracked
+        # array/list even if it shadowed one.
+        for name_node in ast.walk(node.target):
+            if isinstance(name_node, ast.Name):
+                self.array_locals.pop(name_node.id, None)
+                self.list_locals.discard(name_node.id)
+        self._visit_block(node.body)
+        self._visit_block(node.orelse)
+        if iter_name is not None:
+            self.iter_stack.pop()
+        self.loop_depth -= 1
+
+    _visit_AsyncFor = _visit_For
+
+    def _visit_While(self, node: ast.While) -> None:
+        self._visit(node.test)
+        self.loop_depth += 1
+        self._visit_block(node.body)
+        self._visit_block(node.orelse)
+        self.loop_depth -= 1
+
+    def _visit_Raise(self, node: ast.Raise) -> None:
+        self.guard_depth += 1
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+        self.guard_depth -= 1
+
+    def _visit_Assert(self, node: ast.Assert) -> None:
+        self.guard_depth += 1
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+        self.guard_depth -= 1
+
+    def _visit_Assign(self, node: ast.Assign) -> None:
+        self._visit(node.value)
+        self._track_assign(node.targets, node.value)
+
+    def _visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._visit(node.value)
+        if isinstance(node.target, ast.Name):
+            if _is_array_annotation(node.annotation):
+                self.array_locals[node.target.id] = {"kind": "param"}
+            elif node.value is not None:
+                self._track_assign([node.target], node.value)
+
+    def _track_assign(
+        self, targets: Sequence[ast.expr], value: ast.AST
+    ) -> None:
+        origin = self._array_origin(value)
+        is_list = self._is_list_value(value)
+        class_key: Optional[str] = None
+        if isinstance(value, ast.Call):
+            resolved = self.resolver.resolve_call(
+                value, self.local_classes, self.self_class,
+                self.self_attr_classes,
+            )
+            if resolved is not None and resolved[0] == "class":
+                class_key = resolved[1]
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            self.array_locals.pop(name, None)
+            self.list_locals.discard(name)
+            self.local_classes.pop(name, None)
+            if origin is not None:
+                self.array_locals[name] = origin
+            elif is_list:
+                self.list_locals.add(name)
+            elif class_key is not None:
+                self.local_classes[name] = class_key
+
+    def _array_origin(self, value: ast.AST) -> Optional[Dict[str, Any]]:
+        """Origin entry when ``value`` produces a (possible) array."""
+        if isinstance(value, ast.Name):
+            return self.array_locals.get(value.id)
+        if isinstance(value, ast.Subscript):
+            # Slicing a tracked array yields an array view.
+            base = value.value
+            if isinstance(base, ast.Name) and isinstance(
+                value.slice, ast.Slice
+            ):
+                return self.array_locals.get(base.id)
+            return None
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        dotted = _dotted(func)
+        if dotted is not None and dotted.split(".")[0] in self.np_aliases:
+            return {"kind": "np"}
+        resolved = self.resolver.resolve_call(
+            value, self.local_classes, self.self_class,
+            self.self_attr_classes,
+        )
+        if resolved is not None and resolved[0] == "func":
+            return {"kind": "call", "key": resolved[1]}
+        return None
+
+    def _is_list_value(self, value: ast.AST) -> bool:
+        if isinstance(value, (ast.List, ast.ListComp)):
+            return True
+        if isinstance(value, ast.Call) and isinstance(
+            value.func, ast.Name
+        ):
+            return (
+                value.func.id in _LIST_CTORS
+                and self.resolver.resolve_call(value) is None
+            )
+        return False
+
+    # -- expressions ---------------------------------------------------
+
+    def _note_iteration(self, iterable: ast.AST) -> None:
+        """TMO020: Python-level iteration over a tracked array."""
+        if self.guard_depth > 0:
+            return
+        origin: Optional[Dict[str, Any]] = None
+        if isinstance(iterable, ast.Name):
+            origin = self.array_locals.get(iterable.id)
+        else:
+            origin = self._array_origin(iterable)
+        if origin is not None:
+            self._emit(
+                "np_scalar", iterable, what="iter", origin=origin,
+            )
+
+    def _visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        resolved = self.resolver.resolve_call(
+            node, self.local_classes, self.self_class,
+            self.self_attr_classes,
+        )
+        in_loop = self.loop_depth > 0
+        if resolved is not None:
+            kind, key, _bound = resolved
+            self._emit("calls", node, kind=kind, key=key, in_loop=in_loop)
+        elif isinstance(func, ast.Attribute):
+            attr = func.attr
+            if not attr.startswith("__") and attr not in _WIDEN_STOPLIST:
+                self._emit(
+                    "unresolved", node, name=attr, in_loop=in_loop,
+                )
+            if in_loop and self.guard_depth == 0:
+                if attr == "index":
+                    self._emit("quadratic", node, what="index", name=attr)
+                elif attr in _SCALARIZE_METHODS and isinstance(
+                    func.value, ast.Name
+                ):
+                    origin = self.array_locals.get(func.value.id)
+                    if origin is not None:
+                        self._emit(
+                            "np_scalar", node, what=attr, origin=origin,
+                        )
+            if attr == "format" and isinstance(
+                func.value, ast.Constant
+            ) and isinstance(func.value.value, str):
+                self._emit_alloc(node, "str.format() call")
+        elif isinstance(func, ast.Name) and func.id in (
+            "list", "dict", "set"
+        ):
+            self._emit_alloc(node, f"{func.id}() construction")
+        for child in ast.iter_child_nodes(node):
+            if child is not func or isinstance(func, ast.Attribute):
+                # Walk the receiver of attribute calls (it may contain
+                # subscripts/calls) but not a bare Name callee.
+                self._visit(child)
+
+    def _visit_Compare(self, node: ast.Compare) -> None:
+        if (
+            self.loop_depth > 0
+            and self.guard_depth == 0
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], (ast.In, ast.NotIn))
+            and isinstance(node.comparators[0], ast.Name)
+            and node.comparators[0].id in self.list_locals
+        ):
+            self._emit(
+                "quadratic", node, what="in-list",
+                name=node.comparators[0].id,
+            )
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_Subscript(self, node: ast.Subscript) -> None:
+        if (
+            self.loop_depth > 0
+            and self.guard_depth == 0
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and isinstance(node.slice, ast.Name)
+        ):
+            origin = self.array_locals.get(node.value.id)
+            if origin is not None:
+                self._emit(
+                    "np_scalar", node, what="subscript", origin=origin,
+                )
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_comprehension_expr(self, node: ast.AST, label: str) -> None:
+        self._emit_alloc(node, label)
+        for gen in node.generators:  # type: ignore[attr-defined]
+            self._visit(gen.iter)
+            self._note_iteration(gen.iter)
+            for cond in gen.ifs:
+                self._visit(cond)
+        for field_name in ("elt", "key", "value"):
+            child = getattr(node, field_name, None)
+            if child is not None:
+                self._visit(child)
+
+    def _visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension_expr(node, "list comprehension")
+
+    def _visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension_expr(node, "set comprehension")
+
+    def _visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension_expr(node, "dict comprehension")
+
+    def _visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension_expr(node, "generator expression")
+
+    def _visit_List(self, node: ast.List) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._emit_alloc(node, "list literal")
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_Dict(self, node: ast.Dict) -> None:
+        self._emit_alloc(node, "dict literal")
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_Set(self, node: ast.Set) -> None:
+        self._emit_alloc(node, "set literal")
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_Lambda(self, node: ast.Lambda) -> None:
+        self._emit_alloc(node, "lambda definition")
+        self._visit(node.body)
+
+    def _visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        self._emit_alloc(node, "f-string formatting")
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Mod) and isinstance(
+            node.left, ast.Constant
+        ) and isinstance(node.left.value, str):
+            self._emit_alloc(node, "%-formatting")
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+
+def _returns_array(func: ast.AST) -> bool:
+    return _is_array_annotation(getattr(func, "returns", None))
+
+
+def collect_module(
+    module: ModuleInfo,
+    index: ProjectIndex,
+    source: str,
+    options: Dict[str, Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Phase A: extract hot-path facts for one parsed module."""
+    assert module.tree is not None
+    resolver = ModuleResolver(index, module)
+    lines = source.splitlines()
+    alloc_ok = _alloc_ok_lines(source)
+    np_aliases = _numpy_aliases(module)
+
+    functions: List[Dict[str, Any]] = []
+    classes: List[Dict[str, Any]] = []
+
+    def analyse_one(
+        key: str,
+        func: Optional[ast.AST],
+        body: Sequence[ast.stmt],
+        self_class: Optional[str],
+        self_attrs: Dict[str, str],
+        lineno: int,
+    ) -> None:
+        records: Dict[str, Any] = {}
+        walker = _FnWalker(
+            module, resolver, lines, key, func, self_class, self_attrs,
+            np_aliases, alloc_ok, records,
+        )
+        walker.run(body)
+        functions.append({
+            "key": key,
+            "line": lineno,
+            "returns_array": (
+                _returns_array(func) if func is not None else False
+            ),
+            "calls": records.get("calls", []),
+            "unresolved": records.get("unresolved", []),
+            "loop_allocs": records.get("loop_allocs", []),
+            "quadratic": records.get("quadratic", []),
+            "np_scalar": records.get("np_scalar", []),
+        })
+
+    def analyse(
+        key: str,
+        func: Optional[ast.AST],
+        body: Sequence[ast.stmt],
+        self_class: Optional[str],
+        self_attrs: Dict[str, str],
+        lineno: int,
+    ) -> None:
+        analyse_one(key, func, body, self_class, self_attrs, lineno)
+        # ast.walk reaches defs at every nesting depth, so locals-of-
+        # locals get exactly one flat ``<local>`` record here.
+        for stmt in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                analyse_one(
+                    f"{key}.<local>.{stmt.name}", stmt, stmt.body,
+                    self_class, self_attrs, stmt.lineno,
+                )
+
+    toplevel = [
+        stmt for stmt in module.tree.body
+        if not isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+    ]
+    analyse(f"{module.name}.<toplevel>", None, toplevel, None, {}, 1)
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            analyse(
+                f"{module.name}.{stmt.name}", stmt, stmt.body, None, {},
+                stmt.lineno,
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            class_key = f"{module.name}.{stmt.name}"
+            info = module.classes.get(stmt.name)
+            bases: List[str] = []
+            if info is not None:
+                for base_name in info.base_names:
+                    resolved = resolver.resolve_name(base_name)
+                    if resolved is not None and resolved[0] == "class":
+                        bases.append(resolved[1])
+            self_attrs = _extended_self_attrs(resolver, stmt)
+            classes.append({
+                "key": class_key,
+                "bases": bases,
+                "methods": sorted(
+                    f"{class_key}.{m}" for m in (
+                        info.methods if info is not None else {}
+                    )
+                ),
+            })
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    analyse(
+                        f"{class_key}.{item.name}", item, item.body,
+                        class_key, self_attrs, item.lineno,
+                    )
+
+    return {
+        "module": module.name,
+        "path": module.path,
+        "functions": functions,
+        "classes": classes,
+        "registry": _collect_registry(module.tree),
+    }
+
+
+def _extended_self_attrs(
+    resolver: ModuleResolver, class_node: ast.ClassDef
+) -> Dict[str, str]:
+    """``self.<attr>`` -> class key, including annotated-param aliases.
+
+    Extends :func:`collect_self_attr_classes` with the
+    ``def __init__(self, mm: MemoryManager): self.mm = mm`` idiom, so
+    ``self.mm.touch(...)`` resolves in workload methods.
+    """
+    out = collect_self_attr_classes(resolver, class_node)
+    for item in class_node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        annotated: Dict[str, str] = {}
+        for arg in (list(item.args.args) + list(item.args.kwonlyargs)):
+            if arg.annotation is None:
+                continue
+            ann = _dotted(arg.annotation)
+            if not ann:
+                continue
+            resolved = resolver.resolve_name(ann)
+            if resolved is not None and resolved[0] == "class":
+                annotated[arg.arg] = resolved[1]
+        if not annotated:
+            continue
+        for stmt in item.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not isinstance(stmt.value, ast.Name):
+                continue
+            class_key = annotated.get(stmt.value.id)
+            if class_key is None:
+                continue
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    out.setdefault(target.attr, class_key)
+    return out
+
+
+# ----------------------------------------------------------------------
+# phase B: evaluation
+
+
+def _hot_facts(
+    facts_by_path: Dict[str, Dict[str, Any]]
+) -> List[Tuple[str, Dict[str, Any]]]:
+    out = []
+    for path in sorted(facts_by_path):
+        hot = facts_by_path[path].get("hot")
+        if hot is not None:
+            out.append((path, hot))
+    return out
+
+
+def _hot_options(
+    options: Dict[str, Dict[str, Any]]
+) -> Tuple[Tuple[str, ...], Tuple[str, ...], float]:
+    opts = options.get("TMO017", {})
+    entrypoints = tuple(opts.get("entrypoints", ()))
+    hot_roots = tuple(opts.get("hot_roots", ()))
+    threshold = float(
+        opts.get("profile_share_threshold", DEFAULT_PROFILE_SHARE)
+    )
+    return entrypoints, hot_roots, threshold
+
+
+class _Project:
+    """Whole-program tables assembled from the per-file hot facts."""
+
+    def __init__(
+        self, hot_facts: List[Tuple[str, Dict[str, Any]]]
+    ) -> None:
+        #: function key -> (path, function record)
+        self.functions: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+        self.class_methods: Dict[str, List[str]] = {}
+        self.class_bases: Dict[str, List[str]] = {}
+        self.methods_by_name: Dict[str, Set[str]] = {}
+        self.batched: Dict[str, str] = {}
+        self.superseded: Set[str] = set()
+        self.array_returns: Set[str] = set()
+        for path, hot in hot_facts:
+            for record in hot.get("functions", []):
+                self.functions[record["key"]] = (path, record)
+                if record.get("returns_array"):
+                    self.array_returns.add(record["key"])
+            for cls in hot.get("classes", []):
+                self.class_methods[cls["key"]] = cls["methods"]
+                self.class_bases[cls["key"]] = cls["bases"]
+                for method_key in cls["methods"]:
+                    name = method_key.rpartition(".")[2]
+                    self.methods_by_name.setdefault(name, set()).add(
+                        method_key
+                    )
+            registry = hot.get("registry")
+            if registry:
+                self.batched.update(registry.get("batched", {}))
+                self.superseded.update(registry.get("superseded", ()))
+
+    def hot_region(
+        self, entrypoints: Sequence[str], hot_roots: Sequence[str]
+    ) -> Set[str]:
+        """Function keys reachable from the entrypoints.
+
+        Resolved calls follow their edge; constructors widen to all
+        class (and base) methods; unresolved method calls widen by
+        name to project methods under ``hot_roots``.
+        """
+        def under_roots(key: str) -> bool:
+            return any(key.startswith(root) for root in hot_roots)
+
+        reachable: Set[str] = set()
+        queue: List[str] = list(entrypoints)
+        while queue:
+            node = queue.pop()
+            if node in reachable:
+                continue
+            reachable.add(node)
+            if node.startswith("class:"):
+                stack = [node[len("class:"):]]
+                seen: Set[str] = set()
+                while stack:
+                    current = stack.pop()
+                    if current in seen:
+                        continue
+                    seen.add(current)
+                    queue.extend(self.class_methods.get(current, ()))
+                    stack.extend(self.class_bases.get(current, ()))
+                continue
+            entry = self.functions.get(node)
+            if entry is None:
+                continue
+            _, record = entry
+            for call in record["calls"]:
+                target = call["key"]
+                queue.append(
+                    f"class:{target}" if call["kind"] == "class"
+                    else target
+                )
+            for unresolved in record["unresolved"]:
+                for key in self.methods_by_name.get(
+                    unresolved["name"], ()
+                ):
+                    if under_roots(key):
+                        queue.append(key)
+        return reachable
+
+
+def _short(key: str) -> str:
+    return key.rpartition(".")[2]
+
+
+def _match_profile(
+    project: _Project, profile: Dict[str, Any]
+) -> Dict[str, float]:
+    """Map analysed function keys to measured tick shares.
+
+    Profile entries are matched to static functions by file suffix and
+    bare function name, tie-broken by definition-line distance
+    (``co_firstlineno`` and the AST line can differ under decorators).
+    """
+    by_file: Dict[str, List[Tuple[str, str, int]]] = {}
+    for key, (path, record) in project.functions.items():
+        by_file.setdefault(path, []).append(
+            (key, _short(key), record.get("line", 0))
+        )
+
+    def candidates(prof_file: str) -> List[Tuple[str, str, int]]:
+        prof_file = prof_file.replace("\\", "/")
+        for path, entries in by_file.items():
+            if (
+                prof_file == path
+                or prof_file.endswith("/" + path)
+                or path.endswith("/" + prof_file)
+            ):
+                return entries
+        return []
+
+    shares: Dict[str, float] = {}
+    for entry in profile.get("functions", []):
+        name = entry.get("name")
+        prof_file = entry.get("file")
+        share = entry.get("tick_share")
+        if not name or not prof_file or not isinstance(share, (int, float)):
+            continue
+        matched: Optional[str] = None
+        best_distance: Optional[int] = None
+        for key, bare, line in candidates(prof_file):
+            if bare != name:
+                continue
+            distance = abs(line - int(entry.get("line", line)))
+            if best_distance is None or distance < best_distance:
+                matched, best_distance = key, distance
+        if matched is not None:
+            shares[matched] = max(shares.get(matched, 0.0), float(share))
+    return shares
+
+
+def check(
+    facts_by_path: Dict[str, Dict[str, Any]],
+    options: Dict[str, Dict[str, Any]],
+    profile: Optional[Dict[str, Any]] = None,
+) -> Iterator[Violation]:
+    """Phase B: emit TMO017-TMO021 findings inside the hot region."""
+    entrypoints, hot_roots, threshold = _hot_options(options)
+    if not entrypoints:
+        return
+    hot_facts = _hot_facts(facts_by_path)
+    project = _Project(hot_facts)
+    region = project.hot_region(entrypoints, hot_roots)
+    shares = (
+        _match_profile(project, profile) if profile is not None else {}
+    )
+
+    #: owners allowed to call a scalar API: the API itself and its
+    #: batched equivalent (whose implementation takes the slow path).
+    scalar_exempt_owners: Dict[str, Set[str]] = {}
+    for scalar, batched in project.batched.items():
+        scalar_exempt_owners[scalar] = {scalar, batched}
+    batched_by_name: Dict[str, List[str]] = {}
+    for scalar in project.batched:
+        batched_by_name.setdefault(_short(scalar), []).append(scalar)
+
+    for key in sorted(region):
+        entry = project.functions.get(key)
+        if entry is None:
+            continue
+        if hot_roots and not any(key.startswith(r) for r in hot_roots):
+            continue
+        path, record = entry
+        owner_short = _short(key)
+        share = shares.get(key, 0.0)
+        marker = (
+            f" [measured {share:.1%} of tick time]"
+            if share >= threshold else ""
+        )
+
+        def violation(
+            rule_id: str, rec: Dict[str, Any], message: str
+        ) -> Violation:
+            return Violation(
+                path=path,
+                line=rec["line"],
+                col=rec["col"],
+                rule_id=rule_id,
+                message=message + marker,
+                snippet=rec["snippet"],
+            )
+
+        # -- TMO017 / TMO021: scalar calls against the registry --------
+        for call in record["calls"]:
+            target = call["key"]
+            if call["kind"] != "func":
+                continue
+            if target in project.superseded and key not in (
+                scalar_exempt_owners.get(target, ())
+            ) and key != target:
+                batched = project.batched.get(target)
+                hint = (
+                    f"; use {batched}" if batched
+                    else "; it has no remaining hot-path caller"
+                )
+                yield violation(
+                    "TMO021", call,
+                    f"hot function {owner_short}() calls superseded "
+                    f"scalar API {target}{hint}",
+                )
+            elif (
+                call["in_loop"]
+                and target in project.batched
+                and key not in scalar_exempt_owners[target]
+            ):
+                yield violation(
+                    "TMO017", call,
+                    f"per-element call to scalar API {target} inside "
+                    f"a loop in hot function {owner_short}(); use the "
+                    f"batched equivalent {project.batched[target]}",
+                )
+        for unresolved in record["unresolved"]:
+            if not unresolved["in_loop"]:
+                continue
+            for scalar in batched_by_name.get(unresolved["name"], ()):
+                if key in scalar_exempt_owners[scalar]:
+                    continue
+                yield violation(
+                    "TMO017", unresolved,
+                    f"per-element call to scalar API "
+                    f".{unresolved['name']}() (registered as {scalar}) "
+                    f"inside a loop in hot function {owner_short}(); "
+                    f"use the batched equivalent "
+                    f"{project.batched[scalar]}",
+                )
+
+        # -- TMO018: in-loop allocations -------------------------------
+        for alloc in record["loop_allocs"]:
+            if alloc["suppressed"]:
+                continue
+            yield violation(
+                "TMO018", alloc,
+                f"{alloc['what']} inside a loop in hot function "
+                f"{owner_short}(); hoist it out of the tick loop, or "
+                "annotate the line '# tmo-lint: alloc-ok -- <reason>' "
+                "if the allocation is intentional",
+            )
+
+        # -- TMO019: quadratic scans -----------------------------------
+        for quad in record["quadratic"]:
+            if quad["what"] == "in-list":
+                message = (
+                    f"membership test against list {quad['name']!r} "
+                    f"inside a loop in hot function {owner_short}() is "
+                    "a linear scan per iteration; use a set or dict"
+                )
+            elif quad["what"] == "index":
+                message = (
+                    f".index() inside a loop in hot function "
+                    f"{owner_short}() rescans the collection every "
+                    "iteration; precompute an index map"
+                )
+            else:
+                message = (
+                    f"nested loops over {quad['name']!r} in hot "
+                    f"function {owner_short}() scan the collection "
+                    "quadratically; restructure to a single pass"
+                )
+            yield violation("TMO019", quad, message)
+
+        # -- TMO020: numpy scalarization -------------------------------
+        for scalar in record["np_scalar"]:
+            origin = scalar["origin"]
+            if origin["kind"] == "call" and origin.get(
+                "key"
+            ) not in project.array_returns:
+                continue
+            if scalar["what"] == "iter":
+                message = (
+                    f"element-wise Python iteration over a numpy array "
+                    f"in hot function {owner_short}(); keep the "
+                    "computation vectorized (or convert once with "
+                    ".tolist() outside the loop)"
+                )
+            elif scalar["what"] == "subscript":
+                message = (
+                    f"per-index subscript of a numpy array inside a "
+                    f"loop in hot function {owner_short}(); index the "
+                    "whole batch with one vectorized operation"
+                )
+            else:
+                message = (
+                    f".{scalar['what']}() on a numpy array inside a "
+                    f"loop in hot function {owner_short}(); convert "
+                    "once outside the loop"
+                )
+            yield violation("TMO020", scalar, message)
+
+
+def hot_unanalyzed(
+    facts_by_path: Dict[str, Dict[str, Any]],
+    options: Dict[str, Dict[str, Any]],
+    profile: Dict[str, Any],
+) -> List[Dict[str, Any]]:
+    """Functions measured hot but outside the static hot region.
+
+    Each entry is ``{"key", "share", "path", "line"}``, sorted by
+    descending share. A non-empty result means the call graph and the
+    profile disagree: extend the TMO017 entrypoints, fix call
+    resolution, or stop the function from being hot.
+    """
+    entrypoints, hot_roots, threshold = _hot_options(options)
+    project = _Project(_hot_facts(facts_by_path))
+    region = (
+        project.hot_region(entrypoints, hot_roots) if entrypoints
+        else set()
+    )
+    shares = _match_profile(project, profile)
+    out: List[Dict[str, Any]] = []
+    for key, share in shares.items():
+        if share < threshold or key in region:
+            continue
+        if hot_roots and not any(key.startswith(r) for r in hot_roots):
+            continue
+        path, record = project.functions[key]
+        out.append({
+            "key": key,
+            "share": share,
+            "path": path,
+            "line": record.get("line", 1),
+        })
+    out.sort(key=lambda e: (-e["share"], e["key"]))
+    return out
+
+
+# ----------------------------------------------------------------------
+# rule registration
+
+
+@register
+class ScalarPageLoopRule(FlowRule):
+    rule_id = "TMO017"
+    name = "scalar-page-loop"
+    summary = (
+        "per-element scalar API call in a hot loop where a batched "
+        "equivalent is registered (flow pass)"
+    )
+
+
+@register
+class HotLoopAllocRule(FlowRule):
+    rule_id = "TMO018"
+    name = "hot-loop-alloc"
+    summary = (
+        "container/lambda/string-formatting allocation inside a loop "
+        "in a hot function (flow pass)"
+    )
+
+
+@register
+class QuadraticScanRule(FlowRule):
+    rule_id = "TMO019"
+    name = "quadratic-scan"
+    summary = (
+        "list membership, .index() or same-collection nested loop "
+        "inside a hot loop (flow pass)"
+    )
+
+
+@register
+class NumpyScalarizationRule(FlowRule):
+    rule_id = "TMO020"
+    name = "numpy-scalarization"
+    summary = (
+        "element-wise Python iteration/subscripting of a numpy array "
+        "on the hot path (flow pass)"
+    )
+
+
+@register
+class ScalarFallbackCallRule(FlowRule):
+    rule_id = "TMO021"
+    name = "scalar-fallback-call"
+    summary = (
+        "hot-region call to a scalar API the batched-API registry "
+        "marks superseded (flow pass)"
+    )

@@ -4,9 +4,14 @@
 host, fleet serial+parallel, chaos-enabled, tick microbenchmark), writes
 a machine-readable ``BENCH_5.json`` and optionally gates against a
 committed baseline (see :mod:`repro.perf.harness` and
-docs/PERFORMANCE.md).
+docs/PERFORMANCE.md). ``python -m repro bench --profile`` instead
+profiles the microbench under cProfile and writes the tick-share
+document the hot-path lint cross-checks (:mod:`repro.perf.profile`,
+docs/LINTING.md "Hot paths"). :mod:`repro.perf.batched` is the
+batched-API registry that same lint reads statically.
 """
 
+from repro.perf.batched import BATCHED_EQUIVALENTS, SUPERSEDED_SCALAR_APIS
 from repro.perf.harness import (
     BENCH_ID,
     BENCH_SCHEMA_VERSION,
@@ -19,8 +24,20 @@ from repro.perf.harness import (
     run_bench,
     write_report,
 )
+from repro.perf.profile import (
+    PROFILE_DEFAULT_OUT,
+    PROFILE_SCHEMA_VERSION,
+    run_profile,
+    write_profile,
+)
 
 __all__ = [
+    "BATCHED_EQUIVALENTS",
+    "SUPERSEDED_SCALAR_APIS",
+    "PROFILE_DEFAULT_OUT",
+    "PROFILE_SCHEMA_VERSION",
+    "run_profile",
+    "write_profile",
     "BENCH_ID",
     "BENCH_SCHEMA_VERSION",
     "BENCH_SEED",

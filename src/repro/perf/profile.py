@@ -1,0 +1,111 @@
+"""Tick-share profiling behind ``python -m repro bench --profile``.
+
+Runs the microbench scenario (the same warmed bench host the
+regression gate times) under :mod:`cProfile` and writes a
+schema-versioned per-function profile the hot-path lint consumes:
+``tmo-lint --flow --profile BENCH_profile.json`` escalates findings in
+measured-hot functions and reports functions that are measured hot but
+unreachable in the static hot region.
+
+The schema is owned by the consumer — :data:`PROFILE_SCHEMA_VERSION`
+is imported from :mod:`repro.lint.hotpath` so the lint CLI stays
+import-light and the two sides cannot drift apart.
+
+Document shape::
+
+    {
+      "schema_version": 1,
+      "bench_id": "BENCH_5",
+      "seed": 20260704,
+      "steps": 2000,
+      "total_tt_s": 1.23,
+      "functions": [
+        {"file": "src/repro/sim/host.py", "line": 397,
+         "name": "step", "ncalls": 2000, "cumtime_s": 1.20,
+         "tottime_s": 0.04, "tick_share": 0.97},
+        ...
+      ]
+    }
+
+``tick_share`` is cumulative time divided by total profiled time
+(clamped to 1.0): the fraction of the tick loop spent in or under that
+function. Built-in/stdlib frames (``<...>``, ``~``) are dropped; the
+lint matches the rest to its static call graph by file and name.
+
+Profiling happens *after* warm-up, and drives :meth:`Host.step`
+directly rather than :meth:`Host.run`, so bench-driver frames never
+show up as hot-but-unanalyzed.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.lint.hotpath import PROFILE_SCHEMA_VERSION
+from repro.perf.harness import BENCH_ID, BENCH_SEED, _bench_host
+
+#: Default output path; CI uploads it next to ``lint-stats.json``.
+PROFILE_DEFAULT_OUT = "BENCH_profile.json"
+
+#: Microbench defaults: long enough for stable shares, short enough
+#: for CI (the profiled region is a few seconds of simulated load).
+DEFAULT_PROFILE_STEPS = 2000
+DEFAULT_WARMUP_S = 30.0
+
+
+def run_profile(
+    seed: int = BENCH_SEED,
+    steps: int = DEFAULT_PROFILE_STEPS,
+    warmup_s: float = DEFAULT_WARMUP_S,
+) -> Dict[str, Any]:
+    """Profile ``steps`` ticks of the warmed bench host.
+
+    Returns the profile document (see module docstring); callers
+    persist it with :func:`write_profile`.
+    """
+    host = _bench_host(seed)
+    host.run(warmup_s)  # fault in the working set outside the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(steps):
+        host.step()
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    total = max(getattr(stats, "total_tt", 0.0), 1e-12)
+    functions = []
+    for (filename, line, name), entry in stats.stats.items():  # type: ignore[attr-defined]
+        cc, nc, tt, ct = entry[0], entry[1], entry[2], entry[3]
+        if filename.startswith("<") or filename.startswith("~"):
+            continue
+        functions.append({
+            "file": Path(filename).as_posix(),
+            "line": int(line),
+            "name": name,
+            "ncalls": int(nc),
+            "tottime_s": round(float(tt), 6),
+            "cumtime_s": round(float(ct), 6),
+            "tick_share": round(min(float(ct) / total, 1.0), 6),
+        })
+    functions.sort(key=lambda f: (-f["tick_share"], f["file"], f["name"]))
+    return {
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "bench_id": BENCH_ID,
+        "seed": seed,
+        "steps": steps,
+        "total_tt_s": round(float(total), 6),
+        "functions": functions,
+    }
+
+
+def write_profile(
+    document: Dict[str, Any], path: Union[str, Path]
+) -> Path:
+    """Write a profile document as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path

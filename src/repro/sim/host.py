@@ -520,6 +520,25 @@ class Host:
             current[2] - prev[2],
         )
 
+    def _intern_metric_names(self, name: str) -> Tuple[str, ...]:
+        """Build and memoize one workload's metric-series names.
+
+        Out-of-line from :meth:`_record`'s per-workload loop so the
+        string formatting happens once per workload lifetime, not once
+        per tick (TMO018 keeps it out of the hot loop).
+        """
+        names = tuple(
+            f"{name}/{suffix}" for suffix in (
+                "resident_bytes", "anon_bytes", "file_bytes",
+                "swap_bytes", "zswap_bytes", "promotion_rate",
+                "refaults", "rps", "oom",
+                "psi_mem_some_avg10", "psi_io_some_avg10",
+                "psi_mem_some_total", "psi_io_some_total",
+            )
+        )
+        self._metric_names[name] = names
+        return names
+
     def _record(
         self, results: Dict[str, TickResult], now: float, dt: float
     ) -> None:
@@ -547,16 +566,7 @@ class Host:
             tick = results[name]
             names = self._metric_names.get(name)
             if names is None:
-                names = tuple(
-                    f"{name}/{suffix}" for suffix in (
-                        "resident_bytes", "anon_bytes", "file_bytes",
-                        "swap_bytes", "zswap_bytes", "promotion_rate",
-                        "refaults", "rps", "oom",
-                        "psi_mem_some_avg10", "psi_io_some_avg10",
-                        "psi_mem_some_total", "psi_io_some_total",
-                    )
-                )
-                self._metric_names[name] = names
+                names = self._intern_metric_names(name)
             (n_resident, n_anon, n_file, n_swap, n_zswap, n_promo,
              n_refaults, n_rps, n_oom, n_mem10, n_io10, n_memtot,
              n_iotot) = names

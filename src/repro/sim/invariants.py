@@ -86,12 +86,19 @@ class InvariantChecker:
         counters the charge/uncharge paths maintain incrementally.
         """
         psize = mm.page_size_bytes
-        tallies: Dict[str, Dict[str, int]] = {}
+        # Per-cgroup tallies are allocated up front so the per-page loop
+        # only increments counters (the checker runs every tick under
+        # TMO_CHECK_INVARIANTS, inside the lint's hot region).
+        tallies: Dict[str, Dict[str, int]] = {
+            cgroup.name: {"anon": 0, "file": 0, "swap": 0, "zswap": 0}
+            for cgroup in mm.cgroups()
+        }
         for page in mm.pages():
-            tally = tallies.setdefault(
-                page.cgroup,
-                {"anon": 0, "file": 0, "swap": 0, "zswap": 0},
-            )
+            tally = tallies.get(page.cgroup)
+            if tally is None:
+                # A page charged to no known cgroup has no byte counters
+                # to cross-check; the per-cgroup LRU check catches it.
+                continue
             if page.state is PageState.RESIDENT:
                 key = "anon" if page.kind is PageKind.ANON else "file"
                 tally[key] += 1
@@ -102,33 +109,24 @@ class InvariantChecker:
             # EVICTED/ABSENT pages hold no charged bytes anywhere.
 
         for cgroup in mm.cgroups():
-            tally = tallies.get(
-                cgroup.name,
-                {"anon": 0, "file": 0, "swap": 0, "zswap": 0},
-            )
-            expected = {
-                "anon": tally["anon"] * psize,
-                "file": tally["file"] * psize,
-                "swap": tally["swap"] * psize,
-                "zswap": tally["zswap"] * psize,
-            }
-            actual = {
-                "anon": cgroup.anon_bytes,
-                "file": cgroup.file_bytes,
-                "swap": cgroup.swap_bytes,
-                "zswap": cgroup.zswap_bytes,
-            }
-            for key in ("anon", "file", "swap", "zswap"):
-                if actual[key] != expected[key]:
+            tally = tallies[cgroup.name]
+            for key, actual in (
+                ("anon", cgroup.anon_bytes),
+                ("file", cgroup.file_bytes),
+                ("swap", cgroup.swap_bytes),
+                ("zswap", cgroup.zswap_bytes),
+            ):
+                expected = tally[key] * psize
+                if actual != expected:
                     raise InvariantViolation(
                         f"cgroup {cgroup.name!r}: {key}_bytes is "
-                        f"{actual[key]} but its page population implies "
-                        f"{expected[key]} ({tally[key]} pages x {psize} B)"
+                        f"{actual} but its page population implies "
+                        f"{expected} ({tally[key]} pages x {psize} B)"
                     )
-                if actual[key] < 0:
+                if actual < 0:
                     raise InvariantViolation(
                         f"cgroup {cgroup.name!r}: {key}_bytes is "
-                        f"negative ({actual[key]})"
+                        f"negative ({actual})"
                     )
 
     def check_lru_accounting(self, mm) -> None:

@@ -1,0 +1,1 @@
+"""Fixture package for the hot-path analyses (TMO017-TMO021)."""

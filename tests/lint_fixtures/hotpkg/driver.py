@@ -1,0 +1,40 @@
+"""Hot-region fixture: one pinned finding per rule TMO017-TMO021.
+
+``run`` is the configured entrypoint. ``cold`` repeats the same
+shapes but is unreachable from it, so it must stay clean — hot-path
+findings exist only inside the hot region.
+"""
+
+from hotpkg.engine import Store
+
+
+def run(store: Store) -> float:
+    total = 0.0
+    needles = [1, 2, 3]
+    for page in store.pages:
+        store.touch(page)                        # line 15: TMO017
+        label = f"page-{page}"                   # line 16: TMO018
+        if page in needles:                      # line 17: TMO019
+            total += 1.0
+        scratch = []  # tmo-lint: alloc-ok -- fixture: suppressed on purpose
+        scratch.append(label)
+    ages = store.ages()
+    for age in ages:                             # line 22: TMO020
+        total += age
+    store.refresh(0)                             # line 24: TMO021
+    return total
+
+
+def cold(store: Store) -> float:
+    total = 0.0
+    needles = [1, 2, 3]
+    for page in store.pages:
+        store.touch(page)
+        label = f"page-{page}"
+        if page in needles:
+            total += 1.0
+        del label
+    for age in store.ages():
+        total += age
+    store.refresh(0)
+    return total

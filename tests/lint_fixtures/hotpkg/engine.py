@@ -1,0 +1,29 @@
+"""Fixture store: scalar APIs with registered batched equivalents."""
+
+from typing import List
+
+import numpy as np
+
+
+class Store:
+    def __init__(self) -> None:
+        self.pages: List[int] = []
+        self.hits = 0
+
+    def touch(self, page: int) -> None:
+        self.hits += 1
+
+    def touch_batch(self, pages) -> None:
+        # The batched implementation may take the scalar fallback:
+        # its owner is exempt from TMO017.
+        for page in pages:
+            self.touch(page)
+
+    def refresh(self, page: int) -> None:
+        self.hits += 1
+
+    def refresh_all(self) -> None:
+        self.hits = len(self.pages)
+
+    def ages(self) -> np.ndarray:
+        return np.zeros(len(self.pages))

@@ -1,0 +1,11 @@
+"""The fixture's batched-API registry (same literal-table contract as
+``repro.perf.batched``; the lint parses these from the AST)."""
+
+BATCHED_EQUIVALENTS = {
+    "hotpkg.engine.Store.touch": "hotpkg.engine.Store.touch_batch",
+    "hotpkg.engine.Store.refresh": "hotpkg.engine.Store.refresh_all",
+}
+
+SUPERSEDED_SCALAR_APIS = (
+    "hotpkg.engine.Store.refresh",
+)

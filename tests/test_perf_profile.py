@@ -1,0 +1,82 @@
+"""Tests of the tick-share profiler behind ``repro bench --profile``.
+
+A tiny profiled run (a couple of simulated seconds of warm-up, a few
+dozen ticks) is enough to validate the document contract; the real
+CI run uses the defaults in :mod:`repro.perf.profile`.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.lint.hotpath import PROFILE_SCHEMA_VERSION, load_profile
+from repro.perf import PROFILE_DEFAULT_OUT, run_profile, write_profile
+
+REQUIRED_KEYS = {
+    "file", "line", "name", "ncalls", "tottime_s", "cumtime_s",
+    "tick_share",
+}
+
+
+@pytest.fixture(scope="module")
+def document():
+    return run_profile(steps=25, warmup_s=2.0)
+
+
+def test_document_matches_the_lint_contract(document):
+    assert document["schema_version"] == PROFILE_SCHEMA_VERSION
+    assert document["steps"] == 25
+    assert document["total_tt_s"] > 0.0
+    functions = document["functions"]
+    assert functions
+    for entry in functions:
+        assert set(entry) == REQUIRED_KEYS
+        assert 0.0 <= entry["tick_share"] <= 1.0
+        assert "<" not in entry["file"] and "~" not in entry["file"]
+
+
+def test_functions_are_sorted_hottest_first(document):
+    shares = [entry["tick_share"] for entry in document["functions"]]
+    assert shares == sorted(shares, reverse=True)
+
+
+def test_tick_loop_entrypoints_are_measured(document):
+    # The profiled region drives Host.step directly, so step and the
+    # batched page-touch path must both appear.
+    names = {entry["name"] for entry in document["functions"]}
+    assert "step" in names
+    assert "touch_batch" in names
+
+
+def test_write_profile_round_trips_through_load_profile(
+    document, tmp_path
+):
+    path = write_profile(document, tmp_path / "profile.json")
+    assert load_profile(path) == document
+
+
+def test_bench_profile_cli_writes_the_default_out(
+    tmp_path, capsys, monkeypatch
+):
+    monkeypatch.chdir(tmp_path)
+    rc = main(["bench", "--profile", "--quick", "--profile-steps", "10"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    out = tmp_path / PROFILE_DEFAULT_OUT
+    assert out.exists()
+    document = load_profile(out)
+    assert document["steps"] == 10
+    assert "tmo-lint --flow --profile" in captured.out
+
+
+def test_bench_profile_cli_honours_out_override(
+    tmp_path, capsys, monkeypatch
+):
+    monkeypatch.chdir(tmp_path)
+    rc = main([
+        "bench", "--profile", "--quick", "--profile-steps", "10",
+        "--out", "custom.json",
+    ])
+    capsys.readouterr()
+    assert rc == 0
+    assert (tmp_path / "custom.json").exists()
+    assert not (tmp_path / PROFILE_DEFAULT_OUT).exists()
