@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test chaos crash-equivalence bench bench-quick bench-pytest bench-tables examples docs lint profile all
+.PHONY: install test chaos fleet-chaos crash-equivalence bench bench-quick bench-pytest bench-tables examples docs lint profile all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -14,6 +14,13 @@ test:
 # tests/test_faults_chaos.py::CI_SEEDS.
 chaos:
 	TMO_CHECK_INVARIANTS=1 $(PYTHON) -m repro chaos --seeds 1 2 3 4 5
+
+# Fleet-scale storms: parallel rollouts under seed-derived worker
+# crash/hang/slowdown faults; the recovered fleet's merged digest must
+# equal the fault-free control's (docs/RESILIENCE.md, "Fleet
+# recovery"). Seeds mirror the CI fleet-chaos job.
+fleet-chaos:
+	TMO_CHECK_INVARIANTS=1 $(PYTHON) -m repro chaos --fleet --seeds 1 2 3
 
 # Checkpoint -> kill -> restore -> continue must be digest-identical
 # to never having crashed (docs/RESILIENCE.md, "Recovery"). The seed

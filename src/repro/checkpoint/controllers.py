@@ -353,11 +353,17 @@ def _encode_supervisor(supervisor: Supervisor) -> Dict[str, Any]:
     return {
         "type": "Supervisor",
         "config": {
-            f.name: float(getattr(supervisor.config, f.name))
+            # max_restarts is Optional[int]; everything else is float.
+            f.name: (
+                None if getattr(supervisor.config, f.name) is None
+                else float(getattr(supervisor.config, f.name))
+            )
             for f in dataclasses.fields(supervisor.config)
         },
         "controller": encode_controller(supervisor.controller),
         "alive": bool(supervisor.alive),
+        "quarantined": bool(supervisor.quarantined),
+        "consecutive_deaths": int(supervisor._consecutive_deaths),
         "crash_count": int(supervisor.crash_count),
         "hang_kill_count": int(supervisor.hang_kill_count),
         "restart_count": int(supervisor.restart_count),
@@ -377,10 +383,17 @@ def _decode_supervisor(enc: Dict[str, Any]) -> Supervisor:
     supervisor = Supervisor(
         decode_controller(enc["controller"]),
         SupervisorConfig(**{
-            key: float(value) for key, value in enc["config"].items()
+            key: (
+                None if value is None
+                else int(value) if key == "max_restarts"
+                else float(value)
+            )
+            for key, value in enc["config"].items()
         }),
     )
     supervisor.alive = bool(enc["alive"])
+    supervisor.quarantined = bool(enc["quarantined"])
+    supervisor._consecutive_deaths = int(enc["consecutive_deaths"])
     supervisor.crash_count = int(enc["crash_count"])
     supervisor.hang_kill_count = int(enc["hang_kill_count"])
     supervisor.restart_count = int(enc["restart_count"])

@@ -26,7 +26,9 @@ from typing import Any, Dict, Optional
 #: Current snapshot schema version. Bump on any change to the payload
 #: layout; old versions are refused, never silently migrated (the
 #: versioning policy is documented in docs/RESILIENCE.md).
-SCHEMA_VERSION = 1
+#: v2: Supervisor payloads carry ``quarantined``/``consecutive_deaths``
+#: and an Optional ``max_restarts`` in their config.
+SCHEMA_VERSION = 2
 
 #: Payload marker distinguishing host snapshots from other documents.
 PAYLOAD_KIND = "tmo-host-snapshot"

@@ -11,7 +11,11 @@ Commands:
   (see docs/RESILIENCE.md, "Recovery").
 * ``cost-table`` — the Figure 1 hardware cost trends.
 * ``chaos`` — seeded fault-injection runs under invariant checking
-  (see docs/RESILIENCE.md).
+  (see docs/RESILIENCE.md); ``--fleet`` storms a parallel fleet with
+  worker crash/hang/slow faults and writes a graceful-degradation
+  verdict JSON.
+* ``fleet`` — a fleet rollout through the resilience runtime, with
+  loud partial-result warnings and per-failure repro hints.
 * ``crash-equivalence`` — prove checkpoint → kill → restore → continue
   matches the uninterrupted run digest-for-digest (``--workers`` farms a
   seed sweep over processes).
@@ -338,17 +342,21 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    if args.fleet:
+        return _cmd_chaos_fleet(args)
     from repro.faults.chaos import ChaosConfig, format_report, run_chaos
 
     seeds = args.seeds if args.seeds else [args.seed]
+    duration = args.duration if args.duration is not None else 900.0
     failures = 0
     for seed in seeds:
         config = ChaosConfig(
             seed=seed,
-            duration_s=args.duration,
+            duration_s=duration,
             ram_gb=args.ram_gb,
             ncpu=args.ncpu,
             extra_events=args.extra_events,
+            hang_timeout_s=args.hang_timeout,
         )
         report = run_chaos(config)
         print(format_report(report, config))
@@ -359,6 +367,98 @@ def _cmd_chaos(args) -> int:
               file=sys.stderr)
         return 1
     print(f"all {len(seeds)} chaos runs passed")
+    return 0
+
+
+def _cmd_chaos_fleet(args) -> int:
+    """``chaos --fleet``: storm parallel fleets, write the verdict JSON."""
+    import json
+
+    from repro.faults.chaos import (
+        FleetChaosConfig,
+        format_fleet_chaos,
+        run_fleet_chaos,
+    )
+
+    seeds = args.seeds if args.seeds else [args.seed]
+    duration = args.duration if args.duration is not None else 240.0
+    verdicts = []
+    failures = 0
+    for seed in seeds:
+        config = FleetChaosConfig(
+            seed=seed,
+            duration_s=duration,
+            workers=args.workers,
+            worker_faults=args.worker_faults,
+        )
+        report = run_fleet_chaos(config)
+        print(format_fleet_chaos(report))
+        verdicts.append(report.to_json())
+        if not report.passed:
+            failures += 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump({"verdicts": verdicts}, fh, indent=2)
+        print(f"verdicts written to {args.out}")
+    if failures:
+        print(f"{failures}/{len(seeds)} fleet-chaos runs FAILED",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(seeds)} fleet-chaos runs passed")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    """Run a fleet rollout and report savings — loudly when partial."""
+    from repro.core.fleet import Fleet, HostPlan
+    from repro.workloads.apps import APP_CATALOG as catalog
+
+    plans = []
+    for app in args.apps:
+        if app not in catalog:
+            print(f"unknown app {app!r}; see `list-apps`",
+                  file=sys.stderr)
+            return 2
+        plans.append(HostPlan(
+            app=app, count=args.count, size_scale=args.size_scale,
+        ))
+    fleet = Fleet(
+        base_config=HostConfig(
+            ram_gb=args.ram_gb, ncpu=args.ncpu,
+            page_size_bytes=args.page_mb * MB,
+        ),
+        seed=args.seed,
+    )
+    print(f"rolling out {sum(p.count for p in plans)} hosts "
+          f"({', '.join(args.apps)}) for {args.duration:.0f}s "
+          f"(workers {args.workers}) ...")
+    result = fleet.run(plans, args.duration, workers=args.workers)
+    rows = [
+        (app, f"{100 * result.app_savings(app):.1f}")
+        for app in result.apps()
+    ]
+    rows.append(("— tax (of RAM)",
+                 f"{100 * result.tax_savings_of_ram():.1f}"))
+    rows.append(("— total (of RAM)",
+                 f"{100 * result.total_savings_of_ram():.1f}"))
+    print(format_table(["app", "savings %"], rows,
+                       title="fleet savings"))
+    if result.partial:
+        print(
+            f"WARNING: PARTIAL RESULT — only "
+            f"{100 * result.completed_fraction:.0f}% of planned hosts "
+            f"completed ({len(result.reports)}/{result.planned_hosts}); "
+            "the savings above average the survivors only and are a "
+            "biased estimate of the fleet.",
+            file=sys.stderr,
+        )
+        for failed in result.failed_hosts:
+            print(f"  quarantined: {failed.repro_hint()}",
+                  file=sys.stderr)
+        return 1
+    print(f"all {result.planned_hosts} planned hosts completed "
+          f"({result.recovered_hosts} recovered); merged digest "
+          f"{result.merged_digest()[:16]}")
     return 0
 
 
@@ -441,13 +541,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed for a single run (ignored with --seeds)")
     chaos.add_argument("--seeds", type=int, nargs="+", default=None,
                        help="sweep several seeds; nonzero exit on any FAIL")
-    chaos.add_argument("--duration", type=float, default=900.0,
-                       help="simulated seconds per run (default 900)")
+    chaos.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds per run (default 900; "
+                            "240 with --fleet)")
     chaos.add_argument("--ram-gb", type=float, default=1.0)
     chaos.add_argument("--ncpu", type=int, default=8)
     chaos.add_argument("--extra-events", type=int, default=6,
                        help="random fault windows beyond the guaranteed "
                             "breaker storm")
+    chaos.add_argument("--hang-timeout", type=float, default=20.0,
+                       help="supervisor hang-kill threshold in simulated "
+                            "seconds (default 20)")
+    chaos.add_argument("--fleet", action="store_true",
+                       help="storm a parallel fleet with worker "
+                            "crash/hang/slow faults and assert the "
+                            "graceful-degradation verdict")
+    chaos.add_argument("--workers", type=int, default=3,
+                       help="worker processes for --fleet (default 3)")
+    chaos.add_argument("--worker-faults", type=int, default=3,
+                       help="worker fault events per --fleet storm "
+                            "(default 3)")
+    chaos.add_argument("--out", default="chaos-fleet-verdict.json",
+                       metavar="PATH",
+                       help="where --fleet writes the verdict JSON "
+                            "(default chaos-fleet-verdict.json)")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a fleet rollout through the resilience runtime and "
+             "report per-app savings",
+    )
+    fleet.add_argument("--apps", nargs="+",
+                       default=["Feed", "Web", "Cache"],
+                       help="applications to roll out (see list-apps)")
+    fleet.add_argument("--count", type=int, default=2,
+                       help="hosts per application (default 2)")
+    fleet.add_argument("--duration", type=float, default=600.0,
+                       help="simulated seconds per host (default 600)")
+    fleet.add_argument("--ram-gb", type=float, default=1.0)
+    fleet.add_argument("--ncpu", type=int, default=8)
+    fleet.add_argument("--page-mb", type=int, default=1)
+    fleet.add_argument("--size-scale", type=float, default=0.01,
+                       help="fraction of the production footprint")
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default 1: serial)")
 
     ce = sub.add_parser(
         "crash-equivalence",
@@ -512,6 +650,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "run-ab": _cmd_run_ab,
         "chaos": _cmd_chaos,
+        "fleet": _cmd_fleet,
         "crash-equivalence": _cmd_crash_equivalence,
         "bench": _cmd_bench,
     }

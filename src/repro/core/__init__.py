@@ -10,6 +10,7 @@ fleet-rollout harness behind the Section 4.1 savings numbers.
 from repro.core.autotune import AutoTuneConfig, AutoTuneSenpai
 from repro.core.daemon import SenpaiDaemon, SenpaiDaemonConfig
 from repro.core.fleet import FailedHost, Fleet, FleetResult, HostPlan
+from repro.core.fleetres import FleetResilienceConfig
 from repro.core.gswap import GSwapConfig, GSwapController
 from repro.core.oomd import Oomd, OomdConfig
 from repro.core.limits import LimitSenpai, LimitSenpaiConfig
@@ -30,6 +31,7 @@ __all__ = [
     "AutoTuneSenpai",
     "FailedHost",
     "Fleet",
+    "FleetResilienceConfig",
     "Oomd",
     "OomdConfig",
     "SenpaiDaemon",

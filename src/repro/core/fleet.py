@@ -10,11 +10,21 @@ fleet-level savings.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import hashlib
+import math
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.fleetres import (
+    FleetResilienceConfig,
+    HostUnit,
+    run_units,
+)
 from repro.core.senpai import Senpai, SenpaiConfig
+from repro.faults.plan import FaultPlan
 from repro.kernel.mm import MemoryManager
 from repro.sim.host import Host, HostConfig
 from repro.sim.metrics import metrics_digest
@@ -98,6 +108,12 @@ class HostReport:
     #: ``pgsteal``); the benchmark harness reports fleet reclaim rates
     #: from this.
     pgsteal: int = 0
+    #: How many attempts the resilience runtime needed for this host
+    #: (1 means the first run completed).
+    attempts: int = 1
+    #: Whether the final attempt resumed from a spooled checkpoint
+    #: rather than rebuilding from scratch.
+    recovered: bool = False
 
     @property
     def app_savings_frac(self) -> float:
@@ -119,16 +135,39 @@ class HostReport:
 
 @dataclass(frozen=True)
 class FailedHost:
-    """One host that raised during a fleet rollout.
+    """One host quarantined during a fleet rollout.
 
     The rollout continues past it (one bad host must not abort a
-    fleet-wide experiment); the failure is recorded here and the
-    aggregates are flagged partial.
+    fleet-wide experiment); the failure is recorded here — with enough
+    context to reproduce it from the record alone — and the aggregates
+    are flagged partial.
     """
 
     app: str
     host_index: int
     error: str
+    #: The derived seed the host ran with
+    #: (``derive_seed(fleet_seed, "host:<app>:<index>")``).
+    seed: int = 0
+    #: Where the final attempt died: ``"build"``, ``"run"`` or
+    #: ``"measure"``.
+    phase: str = "run"
+    #: Attempts the resilience runtime spent before quarantining.
+    attempts: int = 1
+    #: Last lines of the final attempt's traceback, when one exists.
+    traceback_tail: str = ""
+    #: Whether the final failure was a hang (deadline kill) rather
+    #: than a crash or exception.
+    hung: bool = False
+
+    def repro_hint(self) -> str:
+        """A one-line hint for reproducing this failure standalone."""
+        mode = "hang" if self.hung else "failure"
+        return (
+            f"{self.app}#{self.host_index}: {mode} in phase "
+            f"'{self.phase}' after {self.attempts} attempt(s) "
+            f"[host seed {self.seed}] — {self.error}"
+        )
 
 
 @dataclass
@@ -137,11 +176,46 @@ class FleetResult:
 
     reports: List[HostReport] = field(default_factory=list)
     failed_hosts: List[FailedHost] = field(default_factory=list)
+    #: Hosts the rollout planned (completeness denominator). 0 for
+    #: results assembled by hand from reports alone.
+    planned_hosts: int = 0
 
     @property
     def partial(self) -> bool:
         """Whether any host failed, making the aggregates partial."""
         return bool(self.failed_hosts)
+
+    @property
+    def completed_fraction(self) -> float:
+        """Fraction of planned hosts that produced a report.
+
+        The honesty metric for every aggregate below: a mean over 80%
+        of the fleet is a biased estimate, not a fleet number.
+        """
+        total = self.planned_hosts or (
+            len(self.reports) + len(self.failed_hosts)
+        )
+        if total <= 0:
+            return 1.0
+        return len(self.reports) / total
+
+    @property
+    def recovered_hosts(self) -> int:
+        """Hosts whose final attempt resumed from a spooled snapshot."""
+        return sum(1 for r in self.reports if r.recovered)
+
+    def merged_digest(self) -> str:
+        """SHA-256 over every host's metric digest, order-independent.
+
+        The fleet-level equivalence token: two rollouts over the same
+        plans and seed must match digest-for-digest regardless of
+        worker count, retries or checkpoint recovery.
+        """
+        lines = sorted(
+            f"{r.app} {r.host_index} {r.metrics_digest}"
+            for r in self.reports
+        )
+        return hashlib.sha256("\n".join(lines).encode()).hexdigest()
 
     def apps(self) -> List[str]:
         seen: List[str] = []
@@ -207,50 +281,38 @@ def build_fleet_host(
     return host
 
 
-def _run_fleet_host(
-    base_config: HostConfig,
-    fleet_seed: int,
-    plan: HostPlan,
-    index: int,
-    duration_s: float,
-) -> Union[HostReport, FailedHost]:
-    """Build, run and measure one fleet host; never raises.
+def measure_fleet_host(
+    host: Host, plan: HostPlan, index: int
+) -> HostReport:
+    """Measure savings on a host that has finished its run.
 
-    The single unit of work shared by the serial and parallel paths, so
-    a host's outcome — savings, digest, or failure record — cannot
-    depend on which path executed it. Failure isolation: one host
-    raising (OOM during build, an invariant violation mid-run) must not
-    abort the rest of the rollout.
+    The measurement half of the unit of work the resilience runtime
+    (:mod:`repro.core.fleetres`) executes per attempt; shared by the
+    serial and parallel paths, so a host's report cannot depend on
+    which path executed it.
     """
     profile = APP_CATALOG[plan.app]
-    try:
-        host = build_fleet_host(base_config, fleet_seed, plan, index)
-        host.run(duration_s)
-        app_stats = cgroup_memory_savings(host.mm, "app")
-        tax_saved = 0.0
-        if plan.include_tax:
-            for kind in TAX_PROFILES:
-                slug = kind.lower().replace(" ", "-")
-                tax_saved += cgroup_memory_savings(
-                    host.mm, slug
-                )["saved_bytes"]
-        return HostReport(
-            app=plan.app,
-            backend=plan.backend or profile.preferred_backend,
-            host_index=index,
-            ram_bytes=host.config.ram_bytes,
-            app_baseline_bytes=app_stats["baseline_bytes"],
-            app_saved_bytes=app_stats["saved_bytes"],
-            tax_saved_bytes=tax_saved,
-            metrics_digest=metrics_digest(host.metrics),
-            pgsteal=sum(
-                cg.vmstat.pgsteal for cg in host.mm.cgroups()
-            ),
-        )
-    except Exception as exc:
-        return FailedHost(
-            app=plan.app, host_index=index, error=repr(exc),
-        )
+    app_stats = cgroup_memory_savings(host.mm, "app")
+    tax_saved = 0.0
+    if plan.include_tax:
+        for kind in TAX_PROFILES:
+            slug = kind.lower().replace(" ", "-")
+            tax_saved += cgroup_memory_savings(
+                host.mm, slug
+            )["saved_bytes"]
+    return HostReport(
+        app=plan.app,
+        backend=plan.backend or profile.preferred_backend,
+        host_index=index,
+        ram_bytes=host.config.ram_bytes,
+        app_baseline_bytes=app_stats["baseline_bytes"],
+        app_saved_bytes=app_stats["saved_bytes"],
+        tax_saved_bytes=tax_saved,
+        metrics_digest=metrics_digest(host.metrics),
+        pgsteal=sum(
+            cg.vmstat.pgsteal for cg in host.mm.cgroups()
+        ),
+    )
 
 
 class Fleet:
@@ -284,67 +346,79 @@ class Fleet:
         plans: Sequence[HostPlan],
         duration_s: float,
         workers: Optional[int] = None,
+        resilience: Optional[FleetResilienceConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> FleetResult:
         """Execute every planned host for ``duration_s`` of virtual time.
 
-        With ``workers`` > 1 the hosts fan out over a process pool.
-        Hosts are fully independent — every host's RNG streams derive
-        from ``derive_seed(fleet_seed, "host:<app>:<index>")``, never
-        from shared state — and outcomes are merged back in canonical
-        rollout order, so a parallel run's reports, failures and metric
-        digests are identical to the serial run's, bit for bit. A worker
-        process dying mid-host (not just raising) is contained the same
-        way a host exception is: the affected hosts become
-        :class:`FailedHost` records and the rollout stays partial
-        rather than raising.
+        Both paths go through the resilience runtime
+        (:mod:`repro.core.fleetres`): with ``workers`` > 1 the hosts
+        fan out over real worker processes with per-host wall-clock
+        deadlines; either way a host that crashes, hangs or raises is
+        retried (restoring its latest spooled checkpoint when one
+        exists) up to the retry budget, then quarantined as a
+        :class:`FailedHost`. Hosts are fully independent — every host's
+        RNG streams derive from
+        ``derive_seed(fleet_seed, "host:<app>:<index>")``, never from
+        shared state — and outcomes merge back in canonical rollout
+        order, so a parallel run's reports, failures and metric digests
+        are identical to the serial run's, bit for bit; the checkpoint
+        codec's crash-equivalence guarantee extends that identity to
+        recovered hosts.
+
+        ``resilience`` tunes deadlines/retries/spooling; when omitted,
+        retries are on but periodic spooling is off (retries rerun
+        from scratch), keeping the fault-free fast path free of
+        snapshot overhead. ``fault_plan`` supplies seed-derived
+        ``worker_*`` events (see
+        :meth:`repro.faults.plan.FaultPlan.worker_events`) that the
+        runtime fires against worker processes on first attempts.
         """
         tasks = self._tasks(plans)
-        if workers is None or workers <= 1:
-            outcomes = [
-                _run_fleet_host(
-                    self.base_config, self.seed, plan, index, duration_s
-                )
-                for plan, index in tasks
-            ]
+        if resilience is None:
+            resilience = (
+                FleetResilienceConfig()
+                if fault_plan is not None
+                else FleetResilienceConfig(checkpoint_every_s=math.inf)
+            )
+        spool_root = resilience.spool_dir
+        cleanup_spool = spool_root is None
+        if spool_root is None:
+            spool_root = tempfile.mkdtemp(prefix="tmo-fleet-spool-")
         else:
-            outcomes = self._run_parallel(tasks, duration_s, workers)
+            os.makedirs(spool_root, exist_ok=True)
+        try:
+            units = [
+                HostUnit(
+                    base_config=self.base_config,
+                    fleet_seed=self.seed,
+                    plan=plan,
+                    index=index,
+                    slot=slot,
+                    duration_s=duration_s,
+                    spool_path=os.path.join(
+                        spool_root, f"host-{slot:04d}.snapshot"
+                    ),
+                    checkpoint_every_s=resilience.checkpoint_every_s,
+                    faults=(
+                        fault_plan.worker_events(slot)
+                        if fault_plan is not None else ()
+                    ),
+                    slow_stall_s=resilience.slow_stall_s,
+                )
+                for slot, (plan, index) in enumerate(tasks)
+            ]
+            outcomes = run_units(
+                units, workers if workers is not None else 1, resilience
+            )
+        finally:
+            if cleanup_spool:
+                shutil.rmtree(spool_root, ignore_errors=True)
 
-        result = FleetResult()
-        for (plan, index), outcome in zip(tasks, outcomes):
+        result = FleetResult(planned_hosts=len(tasks))
+        for outcome in outcomes:
             if isinstance(outcome, FailedHost):
                 result.failed_hosts.append(outcome)
             else:
                 result.reports.append(outcome)
         return result
-
-    def _run_parallel(
-        self,
-        tasks: Sequence[Tuple[HostPlan, int]],
-        duration_s: float,
-        workers: int,
-    ) -> List[Union[HostReport, FailedHost]]:
-        """Fan tasks over a process pool, one future per host.
-
-        ``_run_fleet_host`` already converts in-host exceptions to
-        :class:`FailedHost` inside the worker; a future that *itself*
-        raises means the worker process died (or its result could not
-        come back) — e.g. ``BrokenProcessPool`` after a hard crash —
-        and is mapped to a :class:`FailedHost` for that host here.
-        """
-        outcomes: List[Union[HostReport, FailedHost]] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    _run_fleet_host,
-                    self.base_config, self.seed, plan, index, duration_s,
-                )
-                for plan, index in tasks
-            ]
-            for (plan, index), future in zip(tasks, futures):
-                try:
-                    outcomes.append(future.result())
-                except Exception as exc:
-                    outcomes.append(FailedHost(
-                        app=plan.app, host_index=index, error=repr(exc),
-                    ))
-        return outcomes

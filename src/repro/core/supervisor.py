@@ -23,9 +23,16 @@ production daemons run under:
   consistent pre-crash state — the vcmmd-style persist-across-restart
   pattern.
 
+* **quarantine**: with ``max_restarts`` set, a controller that keeps
+  dying without ever polling successfully again is abandoned after the
+  budget — left dead permanently rather than thrash-restarted forever
+  (the same retry-budget discipline :mod:`repro.core.fleetres` applies
+  to whole fleet hosts).
+
 Everything is observable through ``supervisor/*`` metrics: ``alive``
 (gauge), ``crashes``, ``hang_kills`` and ``restarts`` (cumulative
-counts recorded at each event edge).
+counts recorded at each event edge), plus ``quarantined`` at the
+abandonment edge.
 """
 
 from __future__ import annotations
@@ -46,12 +53,17 @@ class SupervisorConfig:
         restart_backoff_s: delay before the first restart attempt;
             doubles per consecutive death.
         restart_backoff_max_s: cap on the doubling backoff.
+        max_restarts: consecutive restarts allowed before the
+            controller is quarantined — left dead permanently, with
+            ``supervisor/quarantined`` recording the edge. ``None``
+            (the default) restarts forever, the historical behaviour.
     """
 
     hang_timeout_s: float = 30.0
     persist_interval_s: float = 30.0
     restart_backoff_s: float = 10.0
     restart_backoff_max_s: float = 120.0
+    max_restarts: Optional[int] = None
 
 
 @dataclass
@@ -90,9 +102,15 @@ class Supervisor:
         self.config = config
         self.faults = ControllerFaultState()
         self.alive = True
+        #: Permanently dead: the retry budget (``config.max_restarts``)
+        #: is exhausted and the supervisor has stopped restarting.
+        self.quarantined = False
         self.crash_count = 0
         self.hang_kill_count = 0
         self.restart_count = 0
+        #: Deaths since the last successful inner poll (drives both the
+        #: backoff doubling and the quarantine decision).
+        self._consecutive_deaths = 0
         self._last_heartbeat_s: Optional[float] = None
         self._next_persist_s: Optional[float] = None
         self._restart_at_s: Optional[float] = None
@@ -112,10 +130,20 @@ class Supervisor:
 
     def _die(self, host, now: float, metric: str, count: int) -> None:
         self.alive = False
-        self._restart_at_s = now + self._backoff_s
-        self._backoff_s = min(
-            self.config.restart_backoff_max_s, self._backoff_s * 2.0
-        )
+        self._consecutive_deaths += 1
+        if (
+            self.config.max_restarts is not None
+            and self._consecutive_deaths > self.config.max_restarts
+        ):
+            # Retry budget exhausted: stop restarting for good.
+            self.quarantined = True
+            self._restart_at_s = None
+            host.metrics.record("supervisor/quarantined", now, 1.0)
+        else:
+            self._restart_at_s = now + self._backoff_s
+            self._backoff_s = min(
+                self.config.restart_backoff_max_s, self._backoff_s * 2.0
+            )
         host.metrics.record(metric, now, float(count))
 
     def _restart(self, host, now: float) -> None:
@@ -174,10 +202,14 @@ class Supervisor:
             return
         self._last_heartbeat_s = now
         self._backoff_s = self.config.restart_backoff_s
+        self._consecutive_deaths = 0
         self._record(host, now)
 
     def __repr__(self) -> str:
-        state = "alive" if self.alive else "dead"
+        if self.quarantined:
+            state = "quarantined"
+        else:
+            state = "alive" if self.alive else "dead"
         return (
             f"Supervisor({type(self.controller).__name__}, {state}, "
             f"crashes={self.crash_count}, hangs={self.hang_kill_count}, "

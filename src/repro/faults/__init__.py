@@ -25,14 +25,18 @@ from repro.faults.chaos import (
     ChaosConfig,
     ChaosReport,
     CrashEquivalenceReport,
+    FleetChaosConfig,
+    FleetChaosReport,
     run_chaos,
     run_crash_equivalence,
+    run_fleet_chaos,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     CONTROLLER_KINDS,
     FAULT_KINDS,
     GENERATED_KINDS,
+    WORKER_KINDS,
     FaultEvent,
     FaultPlan,
 )
@@ -41,12 +45,16 @@ __all__ = [
     "CONTROLLER_KINDS",
     "FAULT_KINDS",
     "GENERATED_KINDS",
+    "WORKER_KINDS",
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",
     "ChaosConfig",
     "ChaosReport",
     "CrashEquivalenceReport",
+    "FleetChaosConfig",
+    "FleetChaosReport",
     "run_chaos",
     "run_crash_equivalence",
+    "run_fleet_chaos",
 ]

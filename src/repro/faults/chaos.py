@@ -65,6 +65,9 @@ class ChaosConfig:
     #: Controller crash/hang events appended to the plan (these draws
     #: never perturb the base schedule of a seed).
     controller_faults: int = 0
+    #: Supervisor hang-kill threshold for the supervised scenario: a
+    #: controller silent for this long is declared hung and restarted.
+    hang_timeout_s: float = 20.0
 
 
 @dataclass
@@ -179,7 +182,7 @@ def build_chaos_host(config: ChaosConfig) -> Tuple[Host, FaultInjector, object]:
         # The returned handle is the supervisor; report readers unwrap
         # its (possibly restarted) inner controller at read time.
         senpai = host.add_controller(Supervisor(senpai, SupervisorConfig(
-            hang_timeout_s=20.0,
+            hang_timeout_s=config.hang_timeout_s,
             persist_interval_s=30.0,
             restart_backoff_s=6.0,
             restart_backoff_max_s=60.0,
@@ -328,6 +331,229 @@ def format_crash_equivalence(report: CrashEquivalenceReport) -> str:
         lines.append(f"  !! unhandled error: {report.error}")
     elif not report.equivalent:
         lines.append("  !! metric series diverged after restore")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FleetChaosConfig:
+    """One fleet-scale chaos storm's parameters.
+
+    A control fleet runs fault-free and serial; a faulted fleet runs
+    the same plans in parallel under a seed-derived storm of
+    ``worker_crash`` / ``worker_hang`` / ``worker_slow`` events. The
+    verdict (:class:`FleetChaosReport`) asserts graceful degradation:
+    every planned host completes or is recovered, and the recovered
+    fleet's merged metric digest equals the uninterrupted fleet's.
+    """
+
+    seed: int
+    duration_s: float = 240.0
+    workers: int = 3
+    #: Worker-level fault events drawn into the plan.
+    worker_faults: int = 3
+    size_scale: float = 0.003
+    max_attempts: int = 3
+    checkpoint_every_s: float = 60.0
+    #: Wall-clock deadline floor per host attempt; a hung worker is
+    #: killed at ``max(deadline_min_s, duration_s*deadline_per_sim_s)``.
+    deadline_min_s: float = 30.0
+    deadline_per_sim_s: float = 0.25
+
+
+@dataclass
+class FleetChaosReport:
+    """Outcome of one fleet-scale chaos storm."""
+
+    seed: int
+    duration_s: float
+    planned_hosts: int = 0
+    completed_hosts: int = 0
+    recovered_hosts: int = 0
+    quarantined_hosts: int = 0
+    #: Merged metric digest of the fault-free serial control fleet.
+    control_digest: str = ""
+    #: Merged metric digest of the faulted parallel fleet.
+    faulted_digest: str = ""
+    #: Per-host digest mismatches, ``"app#index: control != faulted"``.
+    mismatches: Tuple[str, ...] = ()
+    #: Quarantine repro hints (one line per failed host).
+    quarantine_hints: Tuple[str, ...] = ()
+    #: Worker fault events scheduled, per kind.
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: SHA-256 of the fault plan's canonical text.
+    plan_digest: str = ""
+    #: Exception that escaped either rollout (repr), else None.
+    error: Optional[str] = None
+
+    @property
+    def passed(self) -> bool:
+        """The fleet graceful-degradation verdict."""
+        return (
+            self.error is None
+            and self.planned_hosts > 0
+            and self.completed_hosts == self.planned_hosts
+            and self.quarantined_hosts == 0
+            and not self.mismatches
+            and self.control_digest != ""
+            and self.control_digest == self.faulted_digest
+        )
+
+    def failures(self) -> Tuple[str, ...]:
+        """Human-readable reasons the verdict failed (empty if passed)."""
+        reasons = []
+        if self.error is not None:
+            reasons.append(f"unhandled error: {self.error}")
+        if self.completed_hosts < self.planned_hosts:
+            reasons.append(
+                f"only {self.completed_hosts}/{self.planned_hosts} "
+                "planned hosts completed"
+            )
+        if self.quarantined_hosts:
+            reasons.append(
+                f"{self.quarantined_hosts} host(s) quarantined"
+            )
+        for mismatch in self.mismatches:
+            reasons.append(f"digest mismatch: {mismatch}")
+        if (
+            not self.mismatches
+            and self.control_digest != self.faulted_digest
+        ):
+            reasons.append("merged fleet digests diverged")
+        return tuple(reasons)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-clean verdict document (the CI artifact)."""
+        return {
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "passed": self.passed,
+            "planned_hosts": self.planned_hosts,
+            "completed_hosts": self.completed_hosts,
+            "recovered_hosts": self.recovered_hosts,
+            "quarantined_hosts": self.quarantined_hosts,
+            "control_digest": self.control_digest,
+            "faulted_digest": self.faulted_digest,
+            "mismatches": list(self.mismatches),
+            "quarantine_hints": list(self.quarantine_hints),
+            "fault_counts": dict(self.fault_counts),
+            "plan_digest": self.plan_digest,
+            "error": self.error,
+            "failures": list(self.failures()),
+        }
+
+
+def _fleet_chaos_plans(config: FleetChaosConfig):
+    """The planned host mix for one fleet storm (small but mixed)."""
+    from repro.core.fleet import HostPlan
+
+    return [
+        HostPlan(app="Feed", count=2, size_scale=config.size_scale),
+        HostPlan(app="Web", count=1, size_scale=config.size_scale),
+    ]
+
+
+def run_fleet_chaos(config: FleetChaosConfig) -> FleetChaosReport:
+    """Storm a parallel fleet; assert graceful degradation.
+
+    Runs the same planned hosts twice: a serial fault-free control, and
+    a parallel rollout under a seed-derived worker-fault storm with the
+    resilience runtime recovering crashed/hung hosts from their spooled
+    checkpoints. Never raises for in-run failures.
+    """
+    from repro.core.fleet import Fleet
+    from repro.core.fleetres import FleetResilienceConfig
+    from repro.sim.host import HostConfig
+
+    report = FleetChaosReport(
+        seed=config.seed, duration_s=config.duration_s,
+    )
+    try:
+        base = HostConfig(
+            ram_gb=0.25, page_size_bytes=1 * _MB, ncpu=4,
+        )
+        plans = _fleet_chaos_plans(config)
+        planned = sum(plan.count for plan in plans)
+        report.planned_hosts = planned
+
+        control = Fleet(base_config=base, seed=config.seed).run(
+            plans, config.duration_s
+        )
+        report.control_digest = control.merged_digest()
+
+        fault_plan = FaultPlan.generate(
+            config.seed, config.duration_s, extra_events=0,
+            worker_faults=config.worker_faults, fleet_hosts=planned,
+        )
+        worker_events = [
+            ev for ev in fault_plan.events
+            if ev.target.startswith("host:")
+        ]
+        counts: Dict[str, int] = {}
+        for ev in worker_events:
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+        report.fault_counts = counts
+        report.plan_digest = hashlib.sha256(
+            fault_plan.digest_text().encode()
+        ).hexdigest()
+
+        resilience = FleetResilienceConfig(
+            max_attempts=config.max_attempts,
+            retry_backoff_s=0.05,
+            retry_backoff_max_s=0.5,
+            deadline_min_s=config.deadline_min_s,
+            deadline_per_sim_s=config.deadline_per_sim_s,
+            checkpoint_every_s=config.checkpoint_every_s,
+        )
+        faulted = Fleet(base_config=base, seed=config.seed).run(
+            plans, config.duration_s, workers=config.workers,
+            resilience=resilience, fault_plan=fault_plan,
+        )
+        report.completed_hosts = len(faulted.reports)
+        report.recovered_hosts = faulted.recovered_hosts
+        report.quarantined_hosts = len(faulted.failed_hosts)
+        report.quarantine_hints = tuple(
+            failed.repro_hint() for failed in faulted.failed_hosts
+        )
+        report.faulted_digest = faulted.merged_digest()
+
+        control_by_host = {
+            (r.app, r.host_index): r.metrics_digest
+            for r in control.reports
+        }
+        mismatches = []
+        for r in faulted.reports:
+            expect = control_by_host.get((r.app, r.host_index))
+            if expect is not None and expect != r.metrics_digest:
+                mismatches.append(
+                    f"{r.app}#{r.host_index}: "
+                    f"{expect[:16]} != {r.metrics_digest[:16]}"
+                )
+        report.mismatches = tuple(mismatches)
+    except Exception as exc:
+        report.error = repr(exc)
+    return report
+
+
+def format_fleet_chaos(report: FleetChaosReport) -> str:
+    """Render one fleet-chaos verdict for the CLI."""
+    status = "PASS" if report.passed else "FAIL"
+    counts = ", ".join(
+        f"{k}={v}" for k, v in sorted(report.fault_counts.items())
+    ) or "none"
+    lines = [
+        f"fleet-chaos seed={report.seed}: {status}",
+        f"  plan: {counts} over {report.planned_hosts} hosts "
+        f"(digest {report.plan_digest[:16]})",
+        f"  hosts: {report.completed_hosts}/{report.planned_hosts} "
+        f"completed, {report.recovered_hosts} recovered from "
+        f"checkpoints, {report.quarantined_hosts} quarantined",
+        f"  control digest: {report.control_digest[:16]}",
+        f"  faulted digest: {report.faulted_digest[:16]}",
+    ]
+    for hint in report.quarantine_hints:
+        lines.append(f"  !! quarantined: {hint}")
+    for reason in report.failures():
+        lines.append(f"  !! {reason}")
     return "\n".join(lines)
 
 

@@ -25,6 +25,13 @@ Fault taxonomy (``kind`` values; see docs/RESILIENCE.md):
                           restarts it from persisted state)
 ``controller_hang``       the controller stops making progress for the
                           window (heartbeats stall)
+``worker_crash``          a fleet worker process dies mid-host (the
+                          resilience runtime recovers the host from its
+                          spooled checkpoint)
+``worker_hang``           a fleet worker wedges and stops making progress;
+                          the runtime kills it at the per-host deadline
+``worker_slow``           a fleet worker stalls for a wall-clock interval
+                          scaled by ``severity`` during the window
 ========================  =====================================================
 """
 
@@ -53,12 +60,23 @@ GENERATED_KINDS: Tuple[str, ...] = (
 #: Kinds that hit a supervised controller (``target`` is ``"controller"``).
 CONTROLLER_KINDS: Tuple[str, ...] = ("controller_crash", "controller_hang")
 
+#: Kinds that hit a fleet worker process (``target`` is ``"host:<slot>"``
+#: where ``slot`` is the host's position in canonical rollout order).
+#: Consumed by :mod:`repro.core.fleetres`, not the host-level injector.
+WORKER_KINDS: Tuple[str, ...] = ("worker_crash", "worker_hang",
+                                 "worker_slow")
+
 #: Every fault kind a plan may schedule.
-FAULT_KINDS: Tuple[str, ...] = GENERATED_KINDS + CONTROLLER_KINDS
+FAULT_KINDS: Tuple[str, ...] = (
+    GENERATED_KINDS + CONTROLLER_KINDS + WORKER_KINDS
+)
 
 #: Kinds that fire once at ``start_s`` rather than holding for a window.
+#: ``worker_hang`` is instant too: a wedged worker never resumes on its
+#: own — the hang lasts until the resilience runtime's deadline kill.
 INSTANT_KINDS: Tuple[str, ...] = ("wear", "restart", "spike",
-                                  "controller_crash")
+                                  "controller_crash", "worker_crash",
+                                  "worker_hang")
 
 #: Kinds that target a device (``target`` is ``"swap"`` or ``"fs"``).
 DEVICE_KINDS: Tuple[str, ...] = ("io_error", "brownout", "outage")
@@ -133,6 +151,19 @@ class FaultPlan:
             )
         return "\n".join(lines)
 
+    def worker_events(self, slot: int) -> Tuple[FaultEvent, ...]:
+        """Worker-level events targeting fleet host ``slot``.
+
+        ``slot`` is the host's position in the fleet's canonical rollout
+        order (see :meth:`repro.core.fleet.Fleet._tasks`); the resilience
+        runtime hands each host exactly this slice of the plan.
+        """
+        target = f"host:{slot}"
+        return tuple(
+            ev for ev in self.events
+            if ev.kind in WORKER_KINDS and ev.target == target
+        )
+
     @classmethod
     def generate(
         cls,
@@ -141,6 +172,8 @@ class FaultPlan:
         cgroups: Tuple[str, ...] = ("app",),
         extra_events: int = 6,
         controller_faults: int = 0,
+        worker_faults: int = 0,
+        fleet_hosts: int = 1,
     ) -> "FaultPlan":
         """Generate the schedule for ``seed``.
 
@@ -148,8 +181,14 @@ class FaultPlan:
         ``derive_rng(seed, "faults:plan")`` and is drawn in a fixed
         order, so identical arguments yield an identical plan. The
         ``controller_faults`` draws happen strictly after the base
-        draws, so plans generated with the default ``0`` are
-        byte-identical to plans from before the parameter existed.
+        draws, and the ``worker_faults`` draws strictly after those,
+        so plans generated with the defaults (``0``) are byte-identical
+        to plans from before either parameter existed.
+
+        ``worker_faults`` events target fleet host slots drawn
+        uniformly from ``range(fleet_hosts)`` (``target`` is
+        ``"host:<slot>"``); they are consumed by the fleet resilience
+        runtime, not the in-host injector.
 
         Two structural guarantees hold for every seed:
 
@@ -228,6 +267,33 @@ class FaultPlan:
             events.append(FaultEvent(
                 kind=kind, target="controller", start_s=start_s,
                 duration_s=window_s, severity=1.0,
+            ))
+
+        # Worker-process faults (crash/hang/slow against fleet host
+        # slots) are drawn after every other draw, again so a seed's
+        # existing plan is extended, never rewritten.
+        if fleet_hosts < 1:
+            raise ValueError(
+                f"fleet_hosts must be >= 1, got {fleet_hosts}"
+            )
+        for _ in range(worker_faults):
+            kind = WORKER_KINDS[int(rng.integers(0, len(WORKER_KINDS)))]
+            slot = int(rng.integers(0, fleet_hosts))
+            # Fire well inside the run, so a spooled checkpoint can
+            # exist before the fault and the recovery tail after it.
+            start_s = float(rng.uniform(0.1, 0.6) * duration_s)
+            if kind in INSTANT_KINDS:
+                window_s = 0.0
+            else:
+                window_s = float(rng.uniform(10.0, 60.0))
+                window_s = min(window_s, max(1.0, tail_start_s - start_s))
+            severity = (
+                float(rng.uniform(0.3, 1.0))
+                if kind == "worker_slow" else 1.0
+            )
+            events.append(FaultEvent(
+                kind=kind, target=f"host:{slot}", start_s=start_s,
+                duration_s=window_s, severity=severity,
             ))
 
         events.sort(key=lambda ev: (ev.start_s, ev.kind, ev.target))

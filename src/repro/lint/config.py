@@ -104,7 +104,14 @@ def default_config() -> LintConfig:
             # The sim clock module is the boundary where "time" is
             # defined; it never reads the wall clock, but the exemption
             # documents where one *would* be allowed to talk about it.
-            "TMO002": {"exempt_path_suffixes": ("repro/sim/clock.py",)},
+            # The fleet resilience runtime orchestrates *real* worker
+            # processes around the simulation (deadline kills, retry
+            # backoff), so its wall-clock reads and sleeps are the
+            # product, not a determinism leak.
+            "TMO002": {"exempt_path_suffixes": (
+                "repro/sim/clock.py",
+                "repro/core/fleetres.py",
+            )},
             "TMO004": {"allowed_names": frozenset()},
             # Determinism-taint sinks: anything feeding the metrics
             # pipeline or the CSV exports must be reproducible.
@@ -146,9 +153,10 @@ def default_config() -> LintConfig:
                 "transient_attrs": {},
             },
             "TMO015": {
-                # Functions executed inside ProcessPool workers.
+                # Functions executed inside worker processes.
                 "worker_entrypoints": (
-                    "repro.core.fleet._run_fleet_host",
+                    "repro.core.fleetres.run_host_attempt",
+                    "repro.core.fleetres._worker_main",
                 ),
             },
             # Hot-path performance rules (LINTING.md "Hot paths").

@@ -194,6 +194,42 @@ def _scenario_fleet(
     return (ticks, reclaimed), digests
 
 
+def _scenario_fleet_faulted(
+    seed: int, duration_s: float, quick: bool
+) -> Tuple[Tuple[int, int], List[str]]:
+    """A serial fleet under a worker-fault storm with recovery.
+
+    Measures the resilience runtime's overhead path: periodic
+    checkpoint spooling, simulated crash/hang faults, restore-and-
+    continue retries. Digest-compatible with the fault-free fleet
+    scenarios — recovery must not change what the hosts compute.
+    """
+    from repro.core.fleetres import FleetResilienceConfig
+    from repro.faults.plan import FaultPlan
+
+    config = HostConfig(ram_gb=0.25, page_size_bytes=1 * MB, ncpu=4)
+    plans = _fleet_plans(quick)
+    planned = sum(plan.count for plan in plans)
+    fault_plan = FaultPlan.generate(
+        seed, duration_s, extra_events=0,
+        worker_faults=2, fleet_hosts=planned,
+    )
+    resilience = FleetResilienceConfig(
+        retry_backoff_s=0.01,
+        retry_backoff_max_s=0.1,
+        checkpoint_every_s=30.0,
+    )
+    fleet = Fleet(base_config=config, seed=seed)
+    result = fleet.run(
+        plans, duration_s,
+        resilience=resilience, fault_plan=fault_plan,
+    )
+    ticks = planned * int(duration_s / config.tick_s)
+    reclaimed = sum(r.pgsteal for r in result.reports)
+    digests = [r.metrics_digest for r in result.reports]
+    return (ticks, reclaimed), digests
+
+
 def _scenario_chaos(seed: int, duration_s: float) -> Tuple[int, int]:
     host, _injector, _senpai = build_chaos_host(
         ChaosConfig(seed=seed, duration_s=duration_s)
@@ -248,6 +284,15 @@ def run_bench(
     scenarios["fleet_parallel"] = _measure(
         fleet_body(workers, parallel_digests)
     )
+
+    faulted_digests: List[str] = []
+
+    def fleet_faulted_body() -> Tuple[int, int]:
+        counts, digests = _scenario_fleet_faulted(seed, fleet_s, quick)
+        faulted_digests.extend(digests)
+        return counts
+
+    scenarios["fleet_faulted"] = _measure(fleet_faulted_body)
     scenarios["chaos"] = _measure(
         lambda: _scenario_chaos(seed, chaos_s)
     )
@@ -262,6 +307,12 @@ def run_bench(
         "scenarios": {},
         "parallel_digests_match": (
             bool(serial_digests) and serial_digests == parallel_digests
+        ),
+        # Recovery equivalence at bench scale: the faulted fleet (with
+        # crash/hang injection and checkpoint restores) must reproduce
+        # the fault-free serial digests exactly.
+        "faulted_digests_match": (
+            bool(serial_digests) and serial_digests == faulted_digests
         ),
         "pre_pr": dict(PRE_PR_TICKS_PER_S),
         "speedup_vs_pre_pr": {},
@@ -324,6 +375,16 @@ def check_regression(
     if not report.get("parallel_digests_match", False):
         problems.append(
             "fleet_parallel: metric digests diverged from fleet_serial"
+        )
+    # Older baselines predate the faulted scenario; only reports that
+    # carry the field are held to it.
+    if (
+        "faulted_digests_match" in report
+        and not report["faulted_digests_match"]
+    ):
+        problems.append(
+            "fleet_faulted: recovery changed metric digests vs "
+            "fleet_serial"
         )
     return problems
 

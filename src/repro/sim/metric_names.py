@@ -43,6 +43,9 @@ METRIC_NAMES: Dict[str, str] = {
     "supervisor/hang_kills": "cumulative watchdog kills of hung controllers",
     "supervisor/restarts": "cumulative supervised-controller restarts",
     "supervisor/alive": "whether the supervised controller is running",
+    "supervisor/quarantined":
+        "1.0 at the edge where the restart budget is exhausted and "
+        "the controller is abandoned",
 }
 
 #: Per-cgroup families recorded as ``<cgroup>/<suffix>``: suffix ->

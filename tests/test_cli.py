@@ -118,3 +118,51 @@ def test_crash_equivalence_parallel_seed_sweep(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "all 2 crash-equivalence runs passed" in out
+
+
+def test_fleet_rollout_reports_savings(capsys):
+    code = main([
+        "fleet", "--apps", "Feed", "Web", "--count", "1",
+        "--duration", "60", "--ram-gb", "0.25",
+        "--size-scale", "0.003", "--workers", "2",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fleet savings" in out
+    assert "all 2 planned hosts completed" in out
+    assert "merged digest" in out
+
+
+def test_fleet_rejects_unknown_app(capsys):
+    code = main(["fleet", "--apps", "NotAnApp"])
+    assert code == 2
+    assert "unknown app" in capsys.readouterr().err
+
+
+def test_chaos_fleet_writes_verdict_json(tmp_path, capsys):
+    # Seed 5 at 60s draws crashes + a slowdown but no hang, so the run
+    # never waits out a 30s deadline kill.
+    out_path = tmp_path / "verdict.json"
+    code = main([
+        "chaos", "--fleet", "--seeds", "5", "--duration", "60",
+        "--out", str(out_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in out
+    assert "all 1 fleet-chaos runs passed" in out
+    import json
+    doc = json.loads(out_path.read_text())
+    assert len(doc["verdicts"]) == 1
+    verdict = doc["verdicts"][0]
+    assert verdict["seed"] == 5 and verdict["passed"] is True
+
+
+def test_chaos_hang_timeout_flag_is_threaded(capsys):
+    # The flag must reach ChaosConfig; a tiny sweep proves the plumbing.
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["chaos", "--hang-timeout", "45.5"]
+    )
+    assert args.hang_timeout == 45.5

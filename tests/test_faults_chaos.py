@@ -91,3 +91,56 @@ def test_metrics_digest_is_order_insensitive_but_value_sensitive():
     assert metrics_digest(a) == metrics_digest(b)
     b.record("x", 2.0, 2.0)
     assert metrics_digest(a) != metrics_digest(b)
+
+
+# ----------------------------------------------------------------------
+# fleet-scale chaos (ISSUE 8): worker crash/hang storms over a fleet
+
+from repro.faults.chaos import (  # noqa: E402
+    FleetChaosConfig,
+    FleetChaosReport,
+    format_fleet_chaos,
+    run_fleet_chaos,
+)
+
+#: Short wall budgets so a hang kill costs ~2 s in tests (CI uses the
+#: defaults via ``python -m repro chaos --fleet``).
+_FLEET_TEST_KNOBS = dict(
+    duration_s=60.0,
+    workers=2,
+    deadline_min_s=2.0,
+    deadline_per_sim_s=0.01,
+    checkpoint_every_s=20.0,
+)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_fleet_storm_degrades_gracefully(seed):
+    report = run_fleet_chaos(
+        FleetChaosConfig(seed=seed, **_FLEET_TEST_KNOBS)
+    )
+    assert report.passed, report.failures()
+    assert report.planned_hosts == 3
+    assert report.completed_hosts == 3
+    assert sum(report.fault_counts.values()) == 3
+    assert report.error is None
+    text = format_fleet_chaos(report)
+    assert "PASS" in text
+    doc = report.to_json()
+    assert doc["passed"] is True and doc["failures"] == []
+
+
+def test_fleet_report_failures_name_each_gap():
+    report = FleetChaosReport(
+        seed=1, duration_s=60.0, planned_hosts=3, completed_hosts=1,
+        quarantined_hosts=2, control_digest="aa", faulted_digest="bb",
+        mismatches=("Feed#0: aa != bb",),
+        error="RuntimeError('boom')",
+    )
+    assert report.passed is False
+    reasons = " ".join(report.failures())
+    assert "unhandled error" in reasons
+    assert "1/3" in reasons
+    assert "quarantined" in reasons
+    assert "digest mismatch" in reasons
+    assert "FAIL" in format_fleet_chaos(report)

@@ -9,6 +9,7 @@ from repro.faults.plan import (
     GENERATED_KINDS,
     INSTANT_KINDS,
     RECOVERY_TAIL_FRAC,
+    WORKER_KINDS,
     FaultEvent,
     FaultPlan,
 )
@@ -103,7 +104,8 @@ def test_all_kinds_are_generable():
     seen = set()
     for seed in range(30):
         plan = FaultPlan.generate(seed, 900.0, extra_events=10,
-                                  controller_faults=2)
+                                  controller_faults=2, worker_faults=2,
+                                  fleet_hosts=2)
         seen.update(ev.kind for ev in plan.events)
     assert seen == set(FAULT_KINDS)
 
@@ -131,6 +133,66 @@ def test_controller_faults_extend_without_rewriting_the_base_plan():
 
 
 def test_generated_kinds_split_is_consistent():
-    assert set(GENERATED_KINDS) | set(CONTROLLER_KINDS) == set(FAULT_KINDS)
+    assert (
+        set(GENERATED_KINDS) | set(CONTROLLER_KINDS) | set(WORKER_KINDS)
+        == set(FAULT_KINDS)
+    )
     assert not set(GENERATED_KINDS) & set(CONTROLLER_KINDS)
+    assert not set(WORKER_KINDS) & (
+        set(GENERATED_KINDS) | set(CONTROLLER_KINDS)
+    )
     assert "controller_crash" in INSTANT_KINDS
+    assert "worker_crash" in INSTANT_KINDS
+    assert "worker_hang" in INSTANT_KINDS
+
+
+def test_worker_faults_extend_without_rewriting_the_base_plan():
+    """Worker-fault draws come after every existing draw, so a seed's
+    plan with the new parameters at their defaults — and its base
+    schedule with them non-zero — stays byte-identical."""
+    for seed in (1, 2, 3):
+        base = FaultPlan.generate(seed, 60.0)
+        defaulted = FaultPlan.generate(seed, 60.0, worker_faults=0,
+                                       fleet_hosts=5)
+        assert defaulted.digest_text() == base.digest_text()
+        extended = FaultPlan.generate(seed, 60.0, worker_faults=4,
+                                      fleet_hosts=3)
+        worker_events = [
+            ev for ev in extended.events if ev.kind in WORKER_KINDS
+        ]
+        assert len(worker_events) == 4
+        assert tuple(
+            ev for ev in extended.events if ev.kind not in WORKER_KINDS
+        ) == base.events
+
+
+def test_worker_events_are_well_formed():
+    for seed in range(10):
+        plan = FaultPlan.generate(seed, 600.0, worker_faults=5,
+                                  fleet_hosts=4)
+        for ev in plan.events:
+            if ev.kind not in WORKER_KINDS:
+                continue
+            slot = int(ev.target.split(":")[1])
+            assert ev.target == f"host:{slot}" and 0 <= slot < 4
+            if ev.kind in ("worker_crash", "worker_hang"):
+                assert ev.instant and ev.duration_s == 0.0
+                assert ev.severity == 1.0
+            else:  # worker_slow
+                assert ev.duration_s > 0.0
+                assert 0.3 <= ev.severity <= 1.0
+
+
+def test_worker_events_method_partitions_by_slot():
+    plan = FaultPlan.generate(4, 600.0, worker_faults=6, fleet_hosts=3)
+    per_slot = [plan.worker_events(s) for s in range(3)]
+    assert sum(len(evs) for evs in per_slot) == 6
+    for slot, evs in enumerate(per_slot):
+        for ev in evs:
+            assert ev.target == f"host:{slot}"
+            assert ev.kind in WORKER_KINDS
+
+
+def test_generate_rejects_bad_fleet_hosts():
+    with pytest.raises(ValueError):
+        FaultPlan.generate(1, 600.0, fleet_hosts=0)

@@ -22,6 +22,7 @@ SCENARIOS = (
     "single_host",
     "fleet_serial",
     "fleet_parallel",
+    "fleet_faulted",
     "chaos",
 )
 

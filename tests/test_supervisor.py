@@ -232,3 +232,69 @@ def test_inner_poll_exception_does_not_escape():
     assert polls == [0.0]
     assert sup.alive is False
     assert sup.crash_count == 1
+
+
+# ----------------------------------------------------------------------
+# quarantine: the restart budget
+
+
+def test_quarantine_after_max_restarts():
+    """With ``max_restarts=2``, the third consecutive death is final:
+    no restart is ever scheduled again, and the quarantine edge is
+    recorded as a metric."""
+    host = make_host()
+    sup = Supervisor(failing_senpai(), SupervisorConfig(
+        restart_backoff_s=10.0, restart_backoff_max_s=40.0,
+        max_restarts=2,
+    ))
+    sup.poll(host, 0.0)  # death 1 -> restart scheduled
+    assert sup.alive is False and sup.quarantined is False
+    sup.poll(host, 10.0)  # restart 1
+    sup.controller.poll = boom
+    sup.poll(host, 11.0)  # death 2 -> restart scheduled
+    sup.poll(host, 31.0)  # restart 2 (budget now spent)
+    sup.controller.poll = boom
+    sup.poll(host, 32.0)  # death 3 -> quarantine
+    assert sup.quarantined is True
+    assert sup._restart_at_s is None
+    assert "quarantined" in repr(sup)
+    sup.poll(host, 1000.0)  # never comes back
+    assert sup.alive is False
+    assert sup.restart_count == 2
+    edges = host.metrics.series("supervisor/quarantined")
+    assert list(zip(edges.times, edges.values)) == [(32.0, 1.0)]
+
+
+def test_quarantine_budget_counts_consecutive_deaths_only():
+    """A healthy poll between deaths resets the quarantine ladder, not
+    just the backoff."""
+    host = make_host()
+    sup = Supervisor(
+        Senpai(SenpaiConfig(interval_s=30.0)),
+        SupervisorConfig(restart_backoff_s=10.0, max_restarts=1),
+    )
+    sup.faults.crash_pending = True
+    sup.poll(host, 0.0)  # death 1
+    sup.poll(host, 10.0)  # restart
+    sup.poll(host, 11.0)  # healthy: ladder resets
+    sup.faults.crash_pending = True
+    sup.poll(host, 12.0)  # death — but consecutive count is 1 again
+    assert sup.quarantined is False
+    sup.poll(host, 22.0)  # restart still happens
+    assert sup.alive is True
+
+
+def test_default_config_never_quarantines():
+    host = make_host()
+    sup = Supervisor(failing_senpai(), SupervisorConfig(
+        restart_backoff_s=1.0, restart_backoff_max_s=1.0,
+    ))
+    now = 0.0
+    for _ in range(10):
+        sup.controller.poll = boom  # re-arm the decoded replacement
+        sup.poll(host, now)  # death N
+        now += 1.0
+        sup.poll(host, now)  # restart N
+        now += 1.0
+    assert sup.quarantined is False
+    assert sup.restart_count == 10
