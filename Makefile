@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test chaos fleet-chaos crash-equivalence bench bench-quick bench-pytest bench-tables examples docs lint profile all
+.PHONY: install test chaos fleet-chaos fleetd-chaos fleetd-smoke crash-equivalence bench bench-quick bench-pytest bench-tables examples docs lint profile all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,21 @@ chaos:
 # recovery"). Seeds mirror the CI fleet-chaos job.
 fleet-chaos:
 	TMO_CHECK_INVARIANTS=1 $(PYTHON) -m repro chaos --fleet --seeds 1 2 3
+
+# Control-plane storms: guarded rollouts under controller/worker
+# faults through the fleetd engine — every host must end on a single
+# policy, the kill switch must always win, and each seed's outcome
+# digest must be deterministic (docs/RESILIENCE.md, "Control plane").
+# Seeds mirror the CI fleetd-smoke job.
+fleetd-chaos:
+	TMO_CHECK_INVARIANTS=1 $(PYTHON) -m repro chaos --fleetd --seeds 1 2 3
+
+# Control-plane smoke: boot the fleetd daemon, register three hosts,
+# run one passing rollout and one the health gate must trip and
+# auto-roll-back, then shut down cleanly. Leaves the RolloutResult
+# envelopes (fleetd-rollout-*.json) behind; CI uploads them.
+fleetd-smoke:
+	$(PYTHON) examples/fleetd_smoke.py
 
 # Checkpoint -> kill -> restore -> continue must be digest-identical
 # to never having crashed (docs/RESILIENCE.md, "Recovery"). The seed

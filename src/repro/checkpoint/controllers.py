@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional
 
 from repro.checkpoint.snapshot import SnapshotError
 from repro.core.autotune import AutoTuneConfig, AutoTuneSenpai, _TuneState
+from repro.core.gswap import GSwapConfig, GSwapController, _GswapState
 from repro.core.daemon import (
     SenpaiDaemon,
     SenpaiDaemonConfig,
@@ -203,6 +204,50 @@ def _decode_autotune(enc: Dict[str, Any]) -> AutoTuneSenpai:
 
 
 # ----------------------------------------------------------------------
+# g-swap (the static-promotion-rate comparator)
+
+
+def _encode_gswap(controller: GSwapController) -> Dict[str, Any]:
+    config = controller.config
+    return {
+        "type": "GSwapController",
+        "config": {
+            "target_promotion_rate": float(config.target_promotion_rate),
+            "interval_s": float(config.interval_s),
+            "initial_step_frac": float(config.initial_step_frac),
+            "increase_factor": float(config.increase_factor),
+            "decrease_factor": float(config.decrease_factor),
+            "max_step_frac": float(config.max_step_frac),
+            "cgroups": list(config.cgroups) if config.cgroups else None,
+        },
+        "states": [
+            [name, float(st.step_frac), int(st.last_pswpin),
+             bool(st.seen)]
+            for name, st in controller._states.items()
+        ],
+        "next_poll": _opt_float(controller._next_poll),
+    }
+
+
+def _decode_gswap(enc: Dict[str, Any]) -> GSwapController:
+    config_enc = dict(enc["config"])
+    cgroups = config_enc.pop("cgroups")
+    controller = GSwapController(GSwapConfig(
+        cgroups=tuple(cgroups) if cgroups else None, **config_enc
+    ))
+    controller._states = {
+        name: _GswapState(
+            step_frac=float(step_frac),
+            last_pswpin=int(last_pswpin),
+            seen=bool(seen),
+        )
+        for name, step_frac, last_pswpin, seen in enc["states"]
+    }
+    controller._next_poll = _opt_float(enc["next_poll"])
+    return controller
+
+
+# ----------------------------------------------------------------------
 # file-protocol senpai daemon
 
 
@@ -367,6 +412,7 @@ def _encode_supervisor(supervisor: Supervisor) -> Dict[str, Any]:
         "crash_count": int(supervisor.crash_count),
         "hang_kill_count": int(supervisor.hang_kill_count),
         "restart_count": int(supervisor.restart_count),
+        "unquarantine_count": int(supervisor.unquarantine_count),
         "last_heartbeat_s": _opt_float(supervisor._last_heartbeat_s),
         "next_persist_s": _opt_float(supervisor._next_persist_s),
         "restart_at_s": _opt_float(supervisor._restart_at_s),
@@ -397,6 +443,8 @@ def _decode_supervisor(enc: Dict[str, Any]) -> Supervisor:
     supervisor.crash_count = int(enc["crash_count"])
     supervisor.hang_kill_count = int(enc["hang_kill_count"])
     supervisor.restart_count = int(enc["restart_count"])
+    # Absent in pre-control-plane snapshots: default, don't demand.
+    supervisor.unquarantine_count = int(enc.get("unquarantine_count", 0))
     supervisor._last_heartbeat_s = _opt_float(enc["last_heartbeat_s"])
     supervisor._next_persist_s = _opt_float(enc["next_persist_s"])
     supervisor._restart_at_s = _opt_float(enc["restart_at_s"])
@@ -413,6 +461,7 @@ def _decode_supervisor(enc: Dict[str, Any]) -> Supervisor:
 _DECODERS = {
     "Senpai": _decode_senpai,
     "AutoTuneSenpai": _decode_autotune,
+    "GSwapController": _decode_gswap,
     "SenpaiDaemon": _decode_daemon,
     "Oomd": _decode_oomd,
     "FaultInjector": _decode_injector,
@@ -432,6 +481,8 @@ def encode_controller(controller: Any) -> Dict[str, Any]:
         return _encode_senpai(controller)
     if type_name == "AutoTuneSenpai":
         return _encode_autotune(controller)
+    if type_name == "GSwapController":
+        return _encode_gswap(controller)
     if type_name == "SenpaiDaemon":
         return _encode_daemon(controller)
     if type_name == "Oomd":

@@ -12,10 +12,17 @@ Commands:
 * ``cost-table`` — the Figure 1 hardware cost trends.
 * ``chaos`` — seeded fault-injection runs under invariant checking
   (see docs/RESILIENCE.md); ``--fleet`` storms a parallel fleet with
-  worker crash/hang/slow faults and writes a graceful-degradation
-  verdict JSON.
+  worker crash/hang/slow faults, ``--fleetd`` storms the control
+  plane's guarded rollouts; both write a versioned
+  graceful-degradation verdict JSON.
 * ``fleet`` — a fleet rollout through the resilience runtime, with
-  loud partial-result warnings and per-failure repro hints.
+  loud partial-result warnings, per-failure repro hints, and
+  ``--max-attempts`` / ``--deadline-min-s`` /
+  ``--checkpoint-every-sim-s`` resilience knobs.
+* ``fleetd`` — the live control-plane daemon (docs/RESILIENCE.md,
+  "Control plane"): host registration, guarded policy rollouts with
+  health-gated canary waves and auto-rollback, and the fleet kill
+  switch, over a Unix socket.
 * ``crash-equivalence`` — prove checkpoint → kill → restore → continue
   matches the uninterrupted run digest-for-digest (``--workers`` farms a
   seed sweep over processes).
@@ -342,8 +349,14 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    if args.fleet and args.fleetd:
+        print("--fleet and --fleetd are mutually exclusive",
+              file=sys.stderr)
+        return 2
     if args.fleet:
         return _cmd_chaos_fleet(args)
+    if args.fleetd:
+        return _cmd_chaos_fleetd(args)
     from repro.faults.chaos import ChaosConfig, format_report, run_chaos
 
     seeds = args.seeds if args.seeds else [args.seed]
@@ -372,17 +385,21 @@ def _cmd_chaos(args) -> int:
 
 def _cmd_chaos_fleet(args) -> int:
     """``chaos --fleet``: storm parallel fleets, write the verdict JSON."""
-    import json
+    import dataclasses
 
     from repro.faults.chaos import (
         FleetChaosConfig,
+        chaos_verdict_document,
         format_fleet_chaos,
         run_fleet_chaos,
+        write_chaos_verdicts,
     )
 
     seeds = args.seeds if args.seeds else [args.seed]
     duration = args.duration if args.duration is not None else 240.0
+    out = args.out if args.out else "chaos-fleet-verdict.json"
     verdicts = []
+    config_doc = {}
     failures = 0
     for seed in seeds:
         config = FleetChaosConfig(
@@ -391,15 +408,18 @@ def _cmd_chaos_fleet(args) -> int:
             workers=args.workers,
             worker_faults=args.worker_faults,
         )
+        config_doc = dataclasses.asdict(config)
+        del config_doc["seed"]  # per-verdict, not shared provenance
         report = run_fleet_chaos(config)
         print(format_fleet_chaos(report))
         verdicts.append(report.to_json())
         if not report.passed:
             failures += 1
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump({"verdicts": verdicts}, fh, indent=2)
-        print(f"verdicts written to {args.out}")
+    write_chaos_verdicts(
+        chaos_verdict_document("fleet", seeds, config_doc, verdicts),
+        out,
+    )
+    print(f"verdicts written to {out}")
     if failures:
         print(f"{failures}/{len(seeds)} fleet-chaos runs FAILED",
               file=sys.stderr)
@@ -408,10 +428,83 @@ def _cmd_chaos_fleet(args) -> int:
     return 0
 
 
+def _cmd_chaos_fleetd(args) -> int:
+    """``chaos --fleetd``: storm the control plane, write the verdict."""
+    from repro.faults.chaos import (
+        chaos_verdict_document,
+        write_chaos_verdicts,
+    )
+    from repro.fleetd.chaos import (
+        FleetdChaosConfig,
+        format_fleetd_chaos,
+        run_fleetd_chaos,
+    )
+
+    seeds = args.seeds if args.seeds else [args.seed]
+    duration = args.duration if args.duration is not None else 420.0
+    out = args.out if args.out else "chaos-fleetd-verdict.json"
+    verdicts = []
+    config_doc = {}
+    failures = 0
+    for seed in seeds:
+        config = FleetdChaosConfig(
+            seed=seed,
+            duration_s=duration,
+            controller_faults=args.controller_faults,
+            worker_faults=args.worker_faults,
+        )
+        config_doc = config.to_json()
+        del config_doc["seed"]  # per-verdict, not shared provenance
+        report = run_fleetd_chaos(config)
+        print(format_fleetd_chaos(report))
+        verdicts.append(report.to_json())
+        if not report.passed:
+            failures += 1
+    write_chaos_verdicts(
+        chaos_verdict_document(
+            "fleetd", seeds, config_doc, verdicts
+        ),
+        out,
+    )
+    print(f"verdicts written to {out}")
+    if failures:
+        print(f"{failures}/{len(seeds)} fleetd-chaos runs FAILED",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(seeds)} fleetd-chaos runs passed")
+    return 0
+
+
 def _cmd_fleet(args) -> int:
     """Run a fleet rollout and report savings — loudly when partial."""
+    import math
+
     from repro.core.fleet import Fleet, HostPlan
+    from repro.core.fleetres import FleetResilienceConfig
     from repro.workloads.apps import APP_CATALOG as catalog
+
+    resilience = None
+    knobs = (args.max_attempts, args.deadline_min_s,
+             args.checkpoint_every_sim_s)
+    if any(knob is not None for knob in knobs):
+        # Only build an explicit config when a knob is set; the None
+        # default keeps Fleet.run's fault-free fast path (retries on,
+        # periodic spooling off).
+        kwargs = {
+            "checkpoint_every_s": (
+                args.checkpoint_every_sim_s
+                if args.checkpoint_every_sim_s is not None else math.inf
+            ),
+        }
+        if args.max_attempts is not None:
+            kwargs["max_attempts"] = args.max_attempts
+        if args.deadline_min_s is not None:
+            kwargs["deadline_min_s"] = args.deadline_min_s
+        try:
+            resilience = FleetResilienceConfig(**kwargs)
+        except ValueError as exc:
+            print(f"bad resilience knobs: {exc}", file=sys.stderr)
+            return 2
 
     plans = []
     for app in args.apps:
@@ -432,7 +525,8 @@ def _cmd_fleet(args) -> int:
     print(f"rolling out {sum(p.count for p in plans)} hosts "
           f"({', '.join(args.apps)}) for {args.duration:.0f}s "
           f"(workers {args.workers}) ...")
-    result = fleet.run(plans, args.duration, workers=args.workers)
+    result = fleet.run(plans, args.duration, workers=args.workers,
+                       resilience=resilience)
     rows = [
         (app, f"{100 * result.app_savings(app):.1f}")
         for app in result.apps()
@@ -459,6 +553,162 @@ def _cmd_fleet(args) -> int:
     print(f"all {result.planned_hosts} planned hosts completed "
           f"({result.recovered_hosts} recovered); merged digest "
           f"{result.merged_digest()[:16]}")
+    return 0
+
+
+def _parse_policy_args(kind, sets):
+    """Build the wire-form policy from ``--policy KIND --set k=v ...``."""
+    import json
+
+    params = {}
+    for item in sets or []:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"--set needs key=value, got {item!r}"
+            )
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    from repro.fleetd.policy import PolicySpec
+
+    return PolicySpec.make(kind, params).to_json()
+
+
+def _cmd_fleetd(args) -> int:
+    """``repro fleetd <verb>``: drive the control-plane daemon."""
+    import json
+
+    from repro.fleetd.client import FleetdClient, FleetdClientError
+    from repro.fleetd.policy import PolicyError
+    from repro.fleetd.rollout import parse_rollout_result
+
+    if args.fleetd_command == "start":
+        return _cmd_fleetd_start(args)
+
+    client = FleetdClient(args.socket)
+    try:
+        if args.fleetd_command == "status":
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+        elif args.fleetd_command == "register":
+            policy = (
+                _parse_policy_args(args.policy, args.set)
+                if args.policy is not None else None
+            )
+            entry = client.register(
+                args.host_id, args.app, policy=policy,
+                size_scale=args.size_scale,
+            )
+            print(f"registered {args.host_id}: "
+                  f"{json.dumps(entry, sort_keys=True)}")
+        elif args.fleetd_command == "deregister":
+            client.deregister(args.host_id)
+            print(f"deregistered {args.host_id}")
+        elif args.fleetd_command == "rollout":
+            policy = _parse_policy_args(args.policy, args.set)
+            rollout_id = client.rollout(policy, hosts=args.hosts)
+            print(f"rollout {rollout_id} queued: "
+                  f"{json.dumps(policy, sort_keys=True)}")
+            result = client.rollout_status(rollout_id)
+            if args.wait:
+                # Drive the daemon's simulated clock synchronously
+                # instead of polling wall time: deterministic, and no
+                # sleep in the CLI.
+                spent = 0
+                while result["status"] in ("pending", "running"):
+                    if spent >= args.max_wait_ticks:
+                        print(
+                            f"rollout {rollout_id} still "
+                            f"{result['status']} after {spent} ticks",
+                            file=sys.stderr,
+                        )
+                        return 1
+                    client.run_ticks(args.wait_step_ticks)
+                    spent += args.wait_step_ticks
+                    result = client.rollout_status(rollout_id)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    json.dump(result, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"rollout result written to {args.out}")
+            print(f"rollout {rollout_id}: {result['status']}"
+                  + (f" ({result['rollback_reason']})"
+                     if result.get("rollback_reason") else ""))
+            if args.wait and result["status"] != "succeeded":
+                return 1
+        elif args.fleetd_command == "rollout-status":
+            result = client.rollout_status(args.id)
+            parse_rollout_result(result)
+            print(json.dumps(result, indent=2, sort_keys=True))
+        elif args.fleetd_command == "rollback":
+            rolled = client.rollback()
+            print("rolled back the active rollout" if rolled
+                  else "no active rollout")
+        elif args.fleetd_command == "kill-switch":
+            killed = client.kill_switch()
+            print(f"kill switch engaged: {killed} rollout(s) "
+                  "reverted/killed; fleet frozen")
+        elif args.fleetd_command == "reset-quarantine":
+            reset = client.reset_quarantine(args.host_id)
+            print(f"{args.host_id}: "
+                  + ("controller un-quarantined and restarted"
+                     if reset else "was not quarantined"))
+        elif args.fleetd_command == "run":
+            tick = client.run_ticks(args.ticks)
+            print(f"advanced to tick {tick}")
+        elif args.fleetd_command == "stop":
+            client.stop()
+            print("fleetd stopping")
+    except (FleetdClientError, PolicyError, ValueError) as exc:
+        print(f"fleetd: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_fleetd_start(args) -> int:
+    """``repro fleetd start``: run the daemon on a Unix socket."""
+    from repro.core.supervisor import SupervisorConfig
+    from repro.fleetd.engine import FleetdConfig, FleetdEngine
+    from repro.fleetd.health import HealthGateConfig
+    from repro.fleetd.rollout import RolloutConfig
+    from repro.fleetd.server import FleetdServer
+
+    try:
+        rollout = RolloutConfig(
+            canary_frac=args.canary_frac,
+            wave_frac=args.wave_frac,
+            baseline_s=args.baseline_s,
+            soak_s=args.soak_s,
+            gate=HealthGateConfig(),
+        )
+    except ValueError as exc:
+        print(f"bad rollout knobs: {exc}", file=sys.stderr)
+        return 2
+    engine = FleetdEngine(FleetdConfig(
+        seed=args.seed,
+        base_config=HostConfig(
+            ram_gb=args.ram_gb, ncpu=args.ncpu,
+            page_size_bytes=args.page_mb * MB,
+        ),
+        supervisor=SupervisorConfig(),
+        rollout=rollout,
+        checkpoint_every_s=args.checkpoint_every,
+        spool_dir=args.spool_dir,
+    ))
+    server = FleetdServer(
+        engine, args.socket, tick_interval_s=args.tick_interval,
+    )
+    print(f"fleetd listening on {args.socket} "
+          f"(seed {args.seed}, tick every {args.tick_interval}s); "
+          "stop with `repro fleetd stop` or SIGINT")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    finally:
+        engine.close()
+    print("fleetd stopped")
     return 0
 
 
@@ -556,15 +806,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="storm a parallel fleet with worker "
                             "crash/hang/slow faults and assert the "
                             "graceful-degradation verdict")
+    chaos.add_argument("--fleetd", action="store_true",
+                       help="storm the fleetd control plane: guarded "
+                            "rollouts under controller/worker faults, "
+                            "kill switch, deterministic digests")
     chaos.add_argument("--workers", type=int, default=3,
                        help="worker processes for --fleet (default 3)")
     chaos.add_argument("--worker-faults", type=int, default=3,
-                       help="worker fault events per --fleet storm "
-                            "(default 3)")
-    chaos.add_argument("--out", default="chaos-fleet-verdict.json",
-                       metavar="PATH",
-                       help="where --fleet writes the verdict JSON "
-                            "(default chaos-fleet-verdict.json)")
+                       help="worker fault events per --fleet/--fleetd "
+                            "storm (default 3)")
+    chaos.add_argument("--controller-faults", type=int, default=3,
+                       help="controller fault events per --fleetd "
+                            "storm (default 3)")
+    chaos.add_argument("--out", default=None, metavar="PATH",
+                       help="where --fleet/--fleetd write the "
+                            "versioned verdict JSON (default "
+                            "chaos-fleet-verdict.json / "
+                            "chaos-fleetd-verdict.json)")
 
     fleet = sub.add_parser(
         "fleet",
@@ -586,6 +844,134 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--seed", type=int, default=7)
     fleet.add_argument("--workers", type=int, default=1,
                        help="worker processes (default 1: serial)")
+    fleet.add_argument("--max-attempts", type=int, default=None,
+                       help="resilience: tries per host before "
+                            "quarantine (default 3)")
+    fleet.add_argument("--deadline-min-s", type=float, default=None,
+                       help="resilience: floor on the per-host "
+                            "wall-clock deadline (default 60)")
+    fleet.add_argument("--checkpoint-every-sim-s", type=float,
+                       default=None, metavar="N",
+                       help="resilience: spool a snapshot every N "
+                            "simulated seconds so retries resume "
+                            "instead of rerunning (default: off)")
+
+    fleetd = sub.add_parser(
+        "fleetd",
+        help="the fleet control-plane daemon: live host registration "
+             "and guarded policy rollouts over a Unix socket",
+    )
+    fleetd_sub = fleetd.add_subparsers(dest="fleetd_command",
+                                       required=True)
+
+    fd_start = fleetd_sub.add_parser(
+        "start", help="run the daemon (blocks until `fleetd stop`)"
+    )
+    fd_start.add_argument("--socket", default="tmo-fleetd.sock",
+                          help="Unix socket path "
+                               "(default tmo-fleetd.sock)")
+    fd_start.add_argument("--seed", type=int, default=7)
+    fd_start.add_argument("--ram-gb", type=float, default=0.25,
+                          help="RAM per registered host (default 0.25)")
+    fd_start.add_argument("--ncpu", type=int, default=4)
+    fd_start.add_argument("--page-mb", type=int, default=1)
+    fd_start.add_argument("--tick-interval", type=float, default=0.05,
+                          help="wall seconds per simulated tick "
+                               "(default 0.05)")
+    fd_start.add_argument("--checkpoint-every", type=float,
+                          default=60.0, metavar="N",
+                          help="spool host snapshots every N simulated "
+                               "seconds (default 60)")
+    fd_start.add_argument("--spool-dir", default=None,
+                          help="snapshot spool directory (default: a "
+                               "private temporary directory)")
+    fd_start.add_argument("--canary-frac", type=float, default=0.25,
+                          help="fraction of hosts in the canary wave")
+    fd_start.add_argument("--wave-frac", type=float, default=0.5,
+                          help="fraction of remaining hosts per wave")
+    fd_start.add_argument("--baseline-s", type=float, default=60.0,
+                          help="pre-rollout baseline window "
+                               "(simulated seconds)")
+    fd_start.add_argument("--soak-s", type=float, default=60.0,
+                          help="soak time before each wave's health "
+                               "gate (simulated seconds)")
+
+    def _fd_client_parser(name, help_text):
+        p = fleetd_sub.add_parser(name, help=help_text)
+        p.add_argument("--socket", default="tmo-fleetd.sock",
+                       help="daemon socket path "
+                            "(default tmo-fleetd.sock)")
+        return p
+
+    _fd_client_parser("status", "print the daemon's fleet status JSON")
+
+    fd_reg = _fd_client_parser(
+        "register", "admit a host into the running fleet"
+    )
+    fd_reg.add_argument("host_id", help="new host id ([A-Za-z0-9._-])")
+    fd_reg.add_argument("--app", default="Feed",
+                        help="application (see list-apps)")
+    fd_reg.add_argument("--policy", default=None,
+                        choices=["senpai", "autotune", "gswap"],
+                        help="initial policy (default: the fleet's "
+                             "committed policy)")
+    fd_reg.add_argument("--set", action="append", metavar="K=V",
+                        help="policy parameter (repeatable)")
+    fd_reg.add_argument("--size-scale", type=float, default=0.003,
+                        help="fraction of the production footprint")
+
+    fd_dereg = _fd_client_parser(
+        "deregister", "remove a host from the fleet"
+    )
+    fd_dereg.add_argument("host_id")
+
+    fd_roll = _fd_client_parser(
+        "rollout", "start a guarded policy rollout"
+    )
+    fd_roll.add_argument("--policy", required=True,
+                         choices=["senpai", "autotune", "gswap"])
+    fd_roll.add_argument("--set", action="append", metavar="K=V",
+                         help="policy parameter (repeatable)")
+    fd_roll.add_argument("--hosts", nargs="+", default=None,
+                         help="target hosts (default: whole fleet)")
+    fd_roll.add_argument("--wait", action="store_true",
+                         help="drive simulated ticks until the rollout "
+                              "reaches a terminal state; exit nonzero "
+                              "unless it succeeded")
+    fd_roll.add_argument("--max-wait-ticks", type=int, default=5000,
+                         help="tick budget for --wait (default 5000)")
+    fd_roll.add_argument("--wait-step-ticks", type=int, default=50,
+                         help="ticks advanced per --wait poll "
+                              "(default 50)")
+    fd_roll.add_argument("--out", default=None, metavar="PATH",
+                         help="write the RolloutResult JSON envelope "
+                              "here")
+
+    fd_rs = _fd_client_parser(
+        "rollout-status", "print one rollout's RolloutResult envelope"
+    )
+    fd_rs.add_argument("--id", type=int, required=True,
+                       help="rollout id")
+
+    _fd_client_parser("rollback",
+                      "abort the active rollout, reverting its hosts")
+    _fd_client_parser("kill-switch",
+                      "revert every in-flight rollout and freeze the "
+                      "fleet")
+
+    fd_rq = _fd_client_parser(
+        "reset-quarantine",
+        "manually un-quarantine a host's supervised controller",
+    )
+    fd_rq.add_argument("host_id")
+
+    fd_run = _fd_client_parser(
+        "run", "advance the daemon's simulated clock synchronously"
+    )
+    fd_run.add_argument("--ticks", type=int, default=60,
+                        help="ticks to advance (default 60)")
+
+    _fd_client_parser("stop", "shut the daemon down cleanly")
 
     ce = sub.add_parser(
         "crash-equivalence",
@@ -651,6 +1037,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run-ab": _cmd_run_ab,
         "chaos": _cmd_chaos,
         "fleet": _cmd_fleet,
+        "fleetd": _cmd_fleetd,
         "crash-equivalence": _cmd_crash_equivalence,
         "bench": _cmd_bench,
     }

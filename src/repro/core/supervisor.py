@@ -108,6 +108,9 @@ class Supervisor:
         self.crash_count = 0
         self.hang_kill_count = 0
         self.restart_count = 0
+        #: Manual un-quarantine operations (see
+        #: :meth:`reset_quarantine`).
+        self.unquarantine_count = 0
         #: Deaths since the last successful inner poll (drives both the
         #: backoff doubling and the quarantine decision).
         self._consecutive_deaths = 0
@@ -164,6 +167,49 @@ class Supervisor:
     def _record(self, host, now: float) -> None:
         host.metrics.record("supervisor/alive", now,
                             1.0 if self.alive else 0.0)
+
+    # ------------------------------------------------------------------
+    # control-plane surface (repro.fleetd)
+
+    def replace_controller(self, controller: Any) -> None:
+        """Swap the supervised controller live (a policy rollout).
+
+        The watchdog bookkeeping that belongs to the *old* instance —
+        persisted state, heartbeat, backoff ladder — is reset so the
+        replacement starts clean; liveness and quarantine are left
+        untouched (swapping the policy of a quarantined host does not
+        revive it — that is :meth:`reset_quarantine`'s job).
+        """
+        self.controller = controller
+        self._persisted = None
+        self._next_persist_s = None
+        self._last_heartbeat_s = None
+        self._backoff_s = self.config.restart_backoff_s
+
+    def reset_quarantine(self, host, now: float) -> bool:
+        """Manually re-admit a quarantined controller.
+
+        The operator's repair path: quarantine means the *automatic*
+        restart budget is exhausted, not that the controller is
+        unsalvageable. Re-admission restarts it from its last persisted
+        state (the same codec round-trip an automatic restart uses),
+        resets the death streak and backoff ladder, and records the
+        ``supervisor/unquarantined`` edge. Returns False (a no-op) when
+        the controller is not quarantined.
+        """
+        if not self.quarantined:
+            return False
+        self.quarantined = False
+        self._consecutive_deaths = 0
+        self._backoff_s = self.config.restart_backoff_s
+        self._restart_at_s = None
+        self._restart(host, now)
+        self.unquarantine_count += 1
+        host.metrics.record(
+            "supervisor/unquarantined", now,
+            float(self.unquarantine_count),
+        )
+        return True
 
     # ------------------------------------------------------------------
 

@@ -24,8 +24,9 @@ CLI: ``python -m repro chaos --seed N`` (see :mod:`repro.cli`).
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.core.oomd import Oomd, OomdConfig
 from repro.core.senpai import Senpai, SenpaiConfig
@@ -579,3 +580,95 @@ def format_report(report: ChaosReport, config: ChaosConfig) -> str:
     for reason in report.failures(config):
         lines.append(f"  !! {reason}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the versioned chaos-verdict artifact
+
+
+#: Version of the ``chaos --fleet`` / ``chaos --fleetd`` verdict
+#: artifact (the CI upload). Bump on any incompatible envelope change;
+#: :func:`load_chaos_verdicts` refuses mismatched versions instead of
+#: misreading them.
+CHAOS_VERDICT_SCHEMA_VERSION = 1
+
+
+def chaos_verdict_document(
+    mode: str,
+    seeds: Sequence[int],
+    config: Dict[str, Any],
+    verdicts: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Wrap per-seed verdicts in the versioned artifact envelope.
+
+    The envelope carries provenance — which seeds and which storm
+    configuration produced the verdicts — so an archived artifact is
+    reproducible on its own, like the BENCH_*.json reports.
+    """
+    if mode not in ("fleet", "fleetd"):
+        raise ValueError(f"unknown chaos verdict mode {mode!r}")
+    if len(verdicts) != len(seeds):
+        raise ValueError(
+            f"{len(verdicts)} verdicts for {len(seeds)} seeds"
+        )
+    return {
+        "schema_version": CHAOS_VERDICT_SCHEMA_VERSION,
+        "kind": "chaos-verdict",
+        "mode": mode,
+        "seeds": [int(seed) for seed in seeds],
+        "config": dict(config),
+        "verdicts": [dict(v) for v in verdicts],
+    }
+
+
+def write_chaos_verdicts(document: Dict[str, Any], path: str) -> None:
+    """Write one verdict artifact (envelope from
+    :func:`chaos_verdict_document`)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_chaos_verdicts(path: str) -> Dict[str, Any]:
+    """Read one verdict artifact back, validating the envelope.
+
+    Raises ``ValueError`` for a missing/foreign/mismatched envelope —
+    a bare pre-versioning ``{"verdicts": [...]}`` artifact is refused
+    with a pointer at its missing provenance, not silently accepted.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: verdict artifact is not an object")
+    if document.get("kind") != "chaos-verdict":
+        raise ValueError(
+            f"{path}: kind {document.get('kind')!r} is not a chaos "
+            "verdict artifact (pre-versioning artifacts lack the "
+            "envelope; regenerate with `repro chaos --fleet/--fleetd`)"
+        )
+    version = document.get("schema_version")
+    if version != CHAOS_VERDICT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} != "
+            f"{CHAOS_VERDICT_SCHEMA_VERSION}"
+        )
+    if document.get("mode") not in ("fleet", "fleetd"):
+        raise ValueError(
+            f"{path}: unknown mode {document.get('mode')!r}"
+        )
+    seeds = document.get("seeds")
+    verdicts = document.get("verdicts")
+    if not isinstance(seeds, list) or not isinstance(verdicts, list):
+        raise ValueError(f"{path}: seeds/verdicts must be lists")
+    if len(seeds) != len(verdicts):
+        raise ValueError(
+            f"{path}: {len(verdicts)} verdicts for {len(seeds)} seeds"
+        )
+    for i, verdict in enumerate(verdicts):
+        if not isinstance(verdict, dict) or "passed" not in verdict:
+            raise ValueError(
+                f"{path}: verdict #{i} lacks a pass/fail outcome"
+            )
+    if not isinstance(document.get("config"), dict):
+        raise ValueError(f"{path}: config provenance missing")
+    return document

@@ -1,0 +1,48 @@
+"""``repro.fleetd``: the fleet control-plane daemon.
+
+TMO is not a batch job at Meta — it is a fleet service whose
+per-application offloading policies are tuned and redeployed across
+millions of running servers without restarting them (paper Section 6).
+This package is that production shape for the reproduction:
+
+* :mod:`repro.fleetd.engine` — the deterministic control-plane core: a
+  registry of supervised, long-running hosts that can be registered and
+  deregistered while the fleet ticks, with periodic snapshot spooling
+  and crash recovery through the :mod:`repro.core.fleetres` path;
+* :mod:`repro.fleetd.policy` — JSON-clean policy specifications
+  (Senpai / AutoTuneSenpai / g-swap) that can be built into live
+  controllers and swapped without restarting the host;
+* :mod:`repro.fleetd.rollout` — the guarded rollout engine: staged
+  canary waves, each watched by a health gate against the pre-rollout
+  baseline, with automatic rollback of the canary hosts' controller
+  state (via the :mod:`repro.checkpoint` codec) when a gate trips, and
+  a fleet-wide kill switch;
+* :mod:`repro.fleetd.health` — streaming per-host metric rollups (PSI,
+  refaults, OOM kills, breaker state, supervisor quarantine) and the
+  gate evaluation;
+* :mod:`repro.fleetd.server` / :mod:`repro.fleetd.client` — the socket
+  control surface (newline-delimited JSON over a Unix domain socket)
+  and its client, driven by the ``repro fleetd`` CLI verbs;
+* :mod:`repro.fleetd.chaos` — ``chaos --fleetd``: seeded rollout storms
+  under injected controller/host faults with a graceful-degradation
+  verdict (no host on a mixed policy generation, kill switch always
+  wins, deterministic digests per seed).
+
+See docs/RESILIENCE.md, "Control plane".
+"""
+
+from repro.fleetd.engine import FleetdConfig, FleetdEngine
+from repro.fleetd.health import HealthGateConfig, HealthSample
+from repro.fleetd.policy import PolicySpec, build_controller
+from repro.fleetd.rollout import RolloutConfig, RolloutResult
+
+__all__ = [
+    "FleetdConfig",
+    "FleetdEngine",
+    "HealthGateConfig",
+    "HealthSample",
+    "PolicySpec",
+    "build_controller",
+    "RolloutConfig",
+    "RolloutResult",
+]

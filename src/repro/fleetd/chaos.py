@@ -1,0 +1,422 @@
+"""``chaos --fleetd``: rollout storms under injected faults.
+
+The storm drives one :class:`~repro.fleetd.engine.FleetdEngine`
+through a fixed choreography — register a small mixed fleet, start
+guarded rollouts (good policy, deliberately bad policy, good policy,
+then one the kill switch interrupts mid-flight), deregister and
+re-admit a host while the fleet runs — while a seed-derived
+:class:`~repro.faults.plan.FaultPlan` fires ``controller_crash`` /
+``controller_hang`` faults into supervisors and ``worker_crash`` /
+``worker_hang`` faults into whole hosts (recovered through the
+fleetres spool path).
+
+The graceful-degradation verdict:
+
+* no unhandled exception escaped the storm;
+* **no mixed policy**: every host ends on one single policy
+  generation — crashes, hangs, rollbacks and the kill switch
+  notwithstanding;
+* **the kill switch always wins**: it reverts the in-flight rollout,
+  empties the queue, and every later rollout attempt is refused;
+* every rollout record is terminal (nothing left ``running``);
+* **determinism**: the storm runs twice and both runs must produce
+  byte-identical outcome digests (rollout results, final generations,
+  per-host metric digests, recovery counts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.plan import CONTROLLER_KINDS, FaultPlan
+from repro.fleetd.engine import FleetdConfig, FleetdEngine, FleetdError
+from repro.fleetd.policy import PolicySpec
+from repro.fleetd.rollout import RolloutConfig
+from repro.sim.host import HostConfig
+
+_MB = 1 << 20
+
+#: The deliberately bad policy: Senpai told to chase an unreachable
+#: pressure target with a huge step — it shreds the page cache and
+#: spikes PSI/refaults well past any healthy baseline, which is
+#: exactly what the health gate must catch.
+BAD_POLICY = PolicySpec.make("senpai", {
+    "reclaim_ratio": 0.5,
+    "max_step_frac": 0.5,
+    "psi_threshold": 10.0,
+    "interval_s": 2.0,
+})
+
+
+@dataclass(frozen=True)
+class FleetdChaosConfig:
+    """One control-plane storm's parameters."""
+
+    seed: int
+    hosts: int = 4
+    duration_s: float = 420.0
+    controller_faults: int = 3
+    worker_faults: int = 3
+    size_scale: float = 0.003
+    checkpoint_every_s: float = 20.0
+    #: Wedge length applied per ``worker_hang`` event.
+    hang_wedge_s: float = 30.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "hosts": self.hosts,
+            "duration_s": self.duration_s,
+            "controller_faults": self.controller_faults,
+            "worker_faults": self.worker_faults,
+            "size_scale": self.size_scale,
+            "checkpoint_every_s": self.checkpoint_every_s,
+            "hang_wedge_s": self.hang_wedge_s,
+        }
+
+
+@dataclass
+class FleetdChaosReport:
+    """Outcome of one control-plane chaos storm."""
+
+    seed: int
+    hosts: int = 0
+    #: Rollout statuses in id order (terminal states only when healthy).
+    rollout_statuses: Tuple[str, ...] = ()
+    #: Final policy generation per host id.
+    final_generations: Dict[str, int] = field(default_factory=dict)
+    #: Final policy spec (wire form) per host id.
+    final_policies: Dict[str, Any] = field(default_factory=dict)
+    #: Crash recoveries per host id.
+    recoveries: Dict[str, int] = field(default_factory=dict)
+    quarantined_hosts: int = 0
+    #: Rollouts the kill switch reverted/killed.
+    kill_switch_killed: int = 0
+    frozen_after_kill: bool = False
+    post_kill_refused: bool = False
+    #: SHA-256 over the storm's canonical outcome document.
+    digest: str = ""
+    #: Digest of the verification re-run (must equal ``digest``).
+    rerun_digest: str = ""
+    plan_digest: str = ""
+    error: Optional[str] = None
+
+    @property
+    def single_policy(self) -> bool:
+        """No host left on a mixed/mid-rollout policy.
+
+        Uniformity is judged on the *policy spec* every host ends on
+        (a host re-admitted between rollouts carries a younger
+        generation number for the same policy), plus consistency:
+        hosts sharing a generation number must share a spec.
+        """
+        specs = {
+            json.dumps(spec, sort_keys=True)
+            for spec in self.final_policies.values()
+        }
+        if len(specs) > 1:
+            return False
+        by_generation: Dict[int, set] = {}
+        for host_id, generation in self.final_generations.items():
+            by_generation.setdefault(generation, set()).add(
+                json.dumps(
+                    self.final_policies.get(host_id), sort_keys=True
+                )
+            )
+        return all(len(s) <= 1 for s in by_generation.values())
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.error is None
+            and self.hosts > 0
+            and self.single_policy
+            and bool(self.rollout_statuses)
+            and all(
+                status in ("succeeded", "rolled_back", "killed")
+                for status in self.rollout_statuses
+            )
+            and self.kill_switch_killed >= 1
+            and self.frozen_after_kill
+            and self.post_kill_refused
+            and self.digest != ""
+            and self.digest == self.rerun_digest
+        )
+
+    def failures(self) -> Tuple[str, ...]:
+        reasons: List[str] = []
+        if self.error is not None:
+            reasons.append(f"unhandled error: {self.error}")
+        if not self.single_policy:
+            reasons.append(
+                "hosts ended on mixed policies: "
+                f"{self.final_policies} "
+                f"(generations {self.final_generations})"
+            )
+        for status in self.rollout_statuses:
+            if status not in ("succeeded", "rolled_back", "killed"):
+                reasons.append(
+                    f"rollout left non-terminal ({status})"
+                )
+        if self.kill_switch_killed < 1:
+            reasons.append("kill switch reverted nothing")
+        if not self.frozen_after_kill:
+            reasons.append("fleet not frozen after kill switch")
+        if not self.post_kill_refused:
+            reasons.append("a post-kill rollout was accepted")
+        if self.digest != self.rerun_digest:
+            reasons.append(
+                f"storm digests diverged across reruns: "
+                f"{self.digest[:16]} != {self.rerun_digest[:16]}"
+            )
+        return tuple(reasons)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "hosts": self.hosts,
+            "passed": self.passed,
+            "rollout_statuses": list(self.rollout_statuses),
+            "final_generations": dict(self.final_generations),
+            "recoveries": dict(self.recoveries),
+            "quarantined_hosts": self.quarantined_hosts,
+            "kill_switch_killed": self.kill_switch_killed,
+            "frozen_after_kill": self.frozen_after_kill,
+            "post_kill_refused": self.post_kill_refused,
+            "digest": self.digest,
+            "rerun_digest": self.rerun_digest,
+            "plan_digest": self.plan_digest,
+            "error": self.error,
+            "failures": list(self.failures()),
+        }
+
+
+# ----------------------------------------------------------------------
+
+
+def _storm_choreography(duration_ticks: int) -> Dict[str, int]:
+    """The fixed control-plane schedule, scaled to the storm length.
+
+    Fractions of the storm: warmup, three policy rollouts, one rollout
+    the kill switch interrupts, a deregister/re-register pair riding
+    between them.
+    """
+    def at(frac: float) -> int:
+        return max(1, int(duration_ticks * frac))
+
+    return {
+        "rollout_good": at(1 / 7),
+        "deregister": at(1.6 / 7),
+        "rollout_bad": at(2.5 / 7),
+        "reregister": at(3.3 / 7),
+        "rollout_good2": at(4 / 7),
+        "rollout_interrupted": at(5.5 / 7),
+        "kill_switch": at(6.2 / 7),
+        "post_kill_attempt": at(6.5 / 7),
+    }
+
+
+def _run_storm(config: FleetdChaosConfig) -> Dict[str, Any]:
+    """Execute one storm; returns the canonical outcome document."""
+    outcome: Dict[str, Any] = {
+        "error": None,
+        "kill_switch_killed": 0,
+        "frozen_after_kill": False,
+        "post_kill_refused": False,
+    }
+    tick_s = 1.0
+    duration_ticks = int(config.duration_s / tick_s)
+    engine = FleetdEngine(FleetdConfig(
+        seed=config.seed,
+        base_config=HostConfig(
+            ram_gb=0.25, page_size_bytes=1 * _MB, ncpu=4,
+            tick_s=tick_s,
+        ),
+        rollout=RolloutConfig(
+            canary_frac=0.25, wave_frac=0.5,
+            baseline_s=30.0, soak_s=30.0,
+        ),
+        checkpoint_every_s=config.checkpoint_every_s,
+    ))
+    try:
+        apps = ["Feed", "Web"]
+        host_ids = [f"h{i}" for i in range(config.hosts)]
+        for i, host_id in enumerate(host_ids):
+            engine.register(
+                host_id, apps[i % len(apps)],
+                size_scale=config.size_scale,
+            )
+
+        plan = FaultPlan.generate(
+            config.seed, config.duration_s,
+            extra_events=0,
+            controller_faults=config.controller_faults,
+            worker_faults=config.worker_faults,
+            fleet_hosts=config.hosts,
+        )
+        outcome["plan_digest"] = hashlib.sha256(
+            plan.digest_text().encode()
+        ).hexdigest()
+
+        # Fold the plan into per-tick actions. Controller faults carry
+        # no host in their target; assign them round-robin so the
+        # mapping is a pure function of the plan.
+        starts: Dict[int, List[Tuple[str, str, float]]] = {}
+        controller_i = 0
+        for event in plan.events:
+            tick = min(duration_ticks, max(1, int(event.start_s / tick_s)))
+            if event.kind in CONTROLLER_KINDS:
+                host_id = host_ids[controller_i % len(host_ids)]
+                controller_i += 1
+            elif event.target.startswith("host:"):
+                slot = int(event.target.split(":", 1)[1])
+                host_id = host_ids[slot % len(host_ids)]
+            else:
+                continue
+            starts.setdefault(tick, []).append(
+                (event.kind, host_id, event.duration_s)
+            )
+
+        times = _storm_choreography(duration_ticks)
+        good = PolicySpec.make("autotune")
+        good2 = PolicySpec.make("senpai", {"interval_s": 4.0})
+        interrupted = PolicySpec.make(
+            "gswap", {"target_promotion_rate": 50.0}
+        )
+        deregistered = host_ids[1]
+
+        for tick in range(1, duration_ticks + 1):
+            for kind, host_id, event_duration in starts.get(tick, ()):
+                if host_id not in engine.registry:
+                    continue
+                if kind == "controller_crash":
+                    entry = engine.registry.get(host_id)
+                    entry.supervisor.faults.crash_pending = True
+                elif kind == "controller_hang":
+                    entry = engine.registry.get(host_id)
+                    entry.supervisor.faults.hung = True
+                    hang_ticks = max(1, int(event_duration / tick_s))
+                    starts.setdefault(tick + hang_ticks, []).append(
+                        ("controller_unhang", host_id, 0.0)
+                    )
+                elif kind == "controller_unhang":
+                    entry = engine.registry.get(host_id)
+                    entry.supervisor.faults.hung = False
+                elif kind == "worker_crash":
+                    engine.crash_host(host_id)
+                elif kind in ("worker_hang", "worker_slow"):
+                    engine.wedge_host(host_id, config.hang_wedge_s)
+            if tick == times["rollout_good"]:
+                engine.begin_rollout(good)
+            elif tick == times["deregister"]:
+                engine.deregister(deregistered)
+            elif tick == times["rollout_bad"]:
+                engine.begin_rollout(BAD_POLICY)
+            elif tick == times["reregister"]:
+                # Re-admission joins at the fleet's *committed* policy
+                # (last succeeded rollout). Copying a live host's spec
+                # here is wrong: mid-rollout a canary may be running a
+                # candidate the gate is about to reject.
+                engine.register(
+                    deregistered, "Web",
+                    size_scale=config.size_scale,
+                )
+            elif tick == times["rollout_good2"]:
+                engine.begin_rollout(good2)
+            elif tick == times["rollout_interrupted"]:
+                engine.begin_rollout(interrupted)
+            elif tick == times["kill_switch"]:
+                outcome["kill_switch_killed"] = engine.kill_switch()
+                outcome["frozen_after_kill"] = engine.frozen
+            elif tick == times["post_kill_attempt"]:
+                try:
+                    engine.begin_rollout(good)
+                except FleetdError:
+                    outcome["post_kill_refused"] = True
+            engine.tick()
+
+        outcome["rollout_statuses"] = [
+            r.status for r in engine.results
+        ]
+        outcome["rollout_results"] = [
+            r.to_json() for r in engine.results
+        ]
+        outcome["active_terminal"] = engine.active is None
+        outcome["queue_empty"] = not engine.queue
+        outcome["final_generations"] = {
+            entry.host_id: entry.generation
+            for entry in engine.registry.values()
+        }
+        outcome["final_policies"] = {
+            entry.host_id: entry.spec.to_json()
+            for entry in engine.registry.values()
+        }
+        outcome["recoveries"] = dict(engine.recoveries)
+        outcome["quarantined_hosts"] = sum(
+            1 for entry in engine.registry.values()
+            if entry.supervisor.quarantined
+        )
+        outcome["fleet_digest"] = engine.fleet_digest()
+    except Exception as exc:
+        outcome["error"] = repr(exc)
+    finally:
+        engine.close()
+    return outcome
+
+
+def _outcome_digest(outcome: Dict[str, Any]) -> str:
+    canonical = json.dumps(outcome, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def run_fleetd_chaos(config: FleetdChaosConfig) -> FleetdChaosReport:
+    """Run the storm twice and assemble its verdict.
+
+    The second run is the determinism witness: both executions must
+    produce byte-identical outcome digests. Never raises for in-storm
+    failures — they land in the report.
+    """
+    outcome = _run_storm(config)
+    rerun = _run_storm(config)
+    report = FleetdChaosReport(
+        seed=config.seed,
+        hosts=config.hosts,
+        rollout_statuses=tuple(outcome.get("rollout_statuses", ())),
+        final_generations=dict(outcome.get("final_generations", {})),
+        final_policies=dict(outcome.get("final_policies", {})),
+        recoveries=dict(outcome.get("recoveries", {})),
+        quarantined_hosts=int(outcome.get("quarantined_hosts", 0)),
+        kill_switch_killed=int(outcome.get("kill_switch_killed", 0)),
+        frozen_after_kill=bool(outcome.get("frozen_after_kill")),
+        post_kill_refused=bool(outcome.get("post_kill_refused")),
+        plan_digest=str(outcome.get("plan_digest", "")),
+        error=outcome.get("error") or rerun.get("error"),
+        digest=_outcome_digest(outcome),
+        rerun_digest=_outcome_digest(rerun),
+    )
+    return report
+
+
+def format_fleetd_chaos(report: FleetdChaosReport) -> str:
+    """Render one control-plane chaos verdict for the CLI."""
+    status = "PASS" if report.passed else "FAIL"
+    generations = sorted(set(report.final_generations.values()))
+    lines = [
+        f"fleetd-chaos seed={report.seed}: {status}",
+        f"  rollouts: {', '.join(report.rollout_statuses) or 'none'}",
+        f"  final generation(s): {generations} across "
+        f"{len(report.final_generations)} hosts "
+        f"({sum(report.recoveries.values())} crash recoveries, "
+        f"{report.quarantined_hosts} quarantined)",
+        f"  kill switch: killed {report.kill_switch_killed} "
+        f"rollout(s), frozen={report.frozen_after_kill}, "
+        f"post-kill refused={report.post_kill_refused}",
+        f"  digest: {report.digest[:16]} "
+        f"(rerun {report.rerun_digest[:16]})",
+    ]
+    for reason in report.failures():
+        lines.append(f"  !! {reason}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Client for the fleetd control socket.
+
+One request per connection, newline-delimited JSON both ways (the
+protocol :mod:`repro.fleetd.server` documents). The client raises
+:class:`FleetdClientError` for transport failures and for ``ok: false``
+responses, so CLI verbs can surface daemon-side refusals (unknown
+host, kill switch engaged, invalid policy) as ordinary errors.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional
+
+
+class FleetdClientError(RuntimeError):
+    """The daemon refused a request or could not be reached."""
+
+
+class FleetdClient:
+    """Talks to a running fleetd over its Unix socket."""
+
+    def __init__(self, socket_path: str, timeout_s: float = 10.0) -> None:
+        self.socket_path = socket_path
+        self.timeout_s = timeout_s
+
+    def request(self, cmd: str, **params: Any) -> Dict[str, Any]:
+        """Send one command; returns the response payload.
+
+        Raises :class:`FleetdClientError` on connection failure, a
+        malformed response, or an ``ok: false`` reply.
+        """
+        payload = dict(params)
+        payload["cmd"] = cmd
+        line = json.dumps(payload).encode("utf-8") + b"\n"
+        try:
+            with socket.socket(
+                socket.AF_UNIX, socket.SOCK_STREAM
+            ) as conn:
+                conn.settimeout(self.timeout_s)
+                conn.connect(self.socket_path)
+                conn.sendall(line)
+                chunks = []
+                while not chunks or not chunks[-1].endswith(b"\n"):
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+        except OSError as exc:
+            raise FleetdClientError(
+                f"cannot reach fleetd at {self.socket_path}: {exc}"
+            ) from exc
+        raw = b"".join(chunks).strip()
+        if not raw:
+            raise FleetdClientError(
+                "fleetd closed the connection without a response"
+            )
+        try:
+            response = json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise FleetdClientError(
+                f"malformed fleetd response: {exc}"
+            ) from exc
+        if not response.get("ok"):
+            raise FleetdClientError(
+                response.get("error", "fleetd refused the request")
+            )
+        return response
+
+    # -- convenience verbs ---------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def status(self) -> Dict[str, Any]:
+        return self.request("status")["status"]
+
+    def register(
+        self,
+        host_id: str,
+        app: str,
+        policy: Optional[Dict[str, Any]] = None,
+        size_scale: float = 1.0,
+    ) -> Dict[str, Any]:
+        return self.request(
+            "register", host_id=host_id, app=app, policy=policy,
+            size_scale=size_scale,
+        )["host"]
+
+    def deregister(self, host_id: str) -> None:
+        self.request("deregister", host_id=host_id)
+
+    def rollout(
+        self,
+        policy: Dict[str, Any],
+        hosts: Optional[List[str]] = None,
+    ) -> int:
+        return int(
+            self.request("rollout", policy=policy, hosts=hosts)
+            ["rollout_id"]
+        )
+
+    def rollout_status(self, rollout_id: int) -> Dict[str, Any]:
+        return self.request(
+            "rollout-status", rollout_id=rollout_id
+        )["result"]
+
+    def rollback(self) -> bool:
+        return bool(self.request("rollback")["rolled_back"])
+
+    def kill_switch(self) -> int:
+        return int(self.request("kill-switch")["killed"])
+
+    def reset_quarantine(self, host_id: str) -> bool:
+        return bool(
+            self.request("reset-quarantine", host_id=host_id)["reset"]
+        )
+
+    def run_ticks(self, ticks: int) -> int:
+        return int(self.request("run", ticks=ticks)["tick"])
+
+    def stop(self) -> None:
+        self.request("stop")

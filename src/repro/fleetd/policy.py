@@ -1,0 +1,160 @@
+"""JSON-clean policy specifications for live controller swaps.
+
+A :class:`PolicySpec` is the unit the control plane rolls out: a
+controller kind (``senpai`` / ``autotune`` / ``gswap``) plus a flat,
+JSON-clean parameter dict overriding that kind's config defaults. Specs
+travel over the fleetd socket protocol, live in rollout records, and
+are rebuilt into real controller instances with
+:func:`build_controller` — per host, so no two hosts ever share a
+controller object.
+
+Validation is loud and early: an unknown kind or parameter raises
+:class:`PolicyError` at spec construction, before a rollout touches any
+host.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.core.autotune import AutoTuneConfig, AutoTuneSenpai
+from repro.core.gswap import GSwapConfig, GSwapController
+from repro.core.senpai import Senpai, SenpaiConfig
+
+#: Controller kinds the control plane can roll out, mapped to their
+#: config dataclass.
+POLICY_KINDS: Dict[str, Any] = {
+    "senpai": SenpaiConfig,
+    "autotune": AutoTuneConfig,
+    "gswap": GSwapConfig,
+}
+
+#: Config fields a JSON-flat spec cannot carry (tuples of tuples, nested
+#: configs); they keep their defaults unless a richer caller sets them
+#: programmatically.
+_UNSETTABLE_FIELDS: Tuple[str, ...] = ("slo_tiers", "cgroups", "base")
+
+
+class PolicyError(ValueError):
+    """A policy spec that cannot be validated or built."""
+
+
+def _field_names(config_cls) -> Tuple[str, ...]:
+    return tuple(
+        f.name for f in dataclasses.fields(config_cls)
+        if f.name not in _UNSETTABLE_FIELDS
+    )
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One rollout-able controller policy.
+
+    Attributes:
+        kind: one of :data:`POLICY_KINDS`.
+        params: JSON-clean overrides for that kind's config defaults.
+            For ``autotune``, parameters of the wrapped
+            :class:`~repro.core.senpai.SenpaiConfig` are passed under
+            the ``base.`` prefix (``{"base.reclaim_ratio": 0.001}``).
+    """
+
+    kind: str = "senpai"
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in POLICY_KINDS:
+            raise PolicyError(
+                f"unknown policy kind {self.kind!r}; "
+                f"have {sorted(POLICY_KINDS)}"
+            )
+        config_cls = POLICY_KINDS[self.kind]
+        allowed = set(_field_names(config_cls))
+        base_allowed = (
+            set(_field_names(SenpaiConfig))
+            if self.kind == "autotune" else set()
+        )
+        for name, value in self.params:
+            if name.startswith("base."):
+                if name[len("base."):] not in base_allowed:
+                    raise PolicyError(
+                        f"policy kind {self.kind!r} has no "
+                        f"parameter {name!r}"
+                    )
+            elif name not in allowed:
+                raise PolicyError(
+                    f"policy kind {self.kind!r} has no parameter "
+                    f"{name!r}; allowed: {sorted(allowed)}"
+                )
+            if not isinstance(value, (int, float, bool, str)) and \
+                    value is not None:
+                raise PolicyError(
+                    f"parameter {name!r} must be a JSON scalar, "
+                    f"got {type(value).__name__}"
+                )
+
+    @classmethod
+    def make(cls, kind: str, params: Mapping[str, Any] = ()) -> "PolicySpec":
+        """Build a spec from a plain mapping (sorted, canonical order)."""
+        items = tuple(sorted(dict(params).items()))
+        return cls(kind=kind, params=items)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The wire/document form: ``{"kind": ..., "params": {...}}``."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "PolicySpec":
+        """Parse and validate the wire form; raises PolicyError."""
+        if not isinstance(doc, Mapping):
+            raise PolicyError(
+                f"policy document must be an object, got "
+                f"{type(doc).__name__}"
+            )
+        kind = doc.get("kind")
+        params = doc.get("params", {})
+        if not isinstance(kind, str):
+            raise PolicyError("policy document is missing 'kind'")
+        if not isinstance(params, Mapping):
+            raise PolicyError("policy 'params' must be an object")
+        return cls.make(kind, params)
+
+    def describe(self) -> str:
+        """One-line human form for logs and CLI tables."""
+        if not self.params:
+            return f"{self.kind}(defaults)"
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.kind}({inner})"
+
+
+def build_controller(spec: PolicySpec):
+    """Construct a fresh controller instance from ``spec``.
+
+    Every call returns a new object; controllers are never shared
+    between hosts (their state is per-host).
+    """
+    params = dict(spec.params)
+    try:
+        if spec.kind == "senpai":
+            return Senpai(SenpaiConfig(**params))
+        if spec.kind == "autotune":
+            base_params = {
+                name[len("base."):]: value
+                for name, value in params.items()
+                if name.startswith("base.")
+            }
+            own = {
+                name: value for name, value in params.items()
+                if not name.startswith("base.")
+            }
+            return AutoTuneSenpai(AutoTuneConfig(
+                base=SenpaiConfig(**base_params), **own
+            ))
+        if spec.kind == "gswap":
+            return GSwapController(GSwapConfig(**params))
+    except (TypeError, ValueError) as exc:
+        raise PolicyError(
+            f"cannot build {spec.describe()}: {exc}"
+        ) from exc
+    raise PolicyError(f"unknown policy kind {spec.kind!r}")

@@ -1,0 +1,187 @@
+"""The control plane's host registry.
+
+Each registered host is a full simulated server (one app container plus
+the datacenter-tax sidecars, exactly the :mod:`repro.core.fleet` host
+recipe) whose offloading controller runs under a
+:class:`~repro.core.supervisor.Supervisor` so the control plane can
+swap, restart and un-quarantine it live. The registry is pure
+bookkeeping — the :class:`~repro.fleetd.engine.FleetdEngine` owns the
+tick loop and mutates entries through it.
+
+Seeds derive per host id (``derive_seed(seed, "fleetd:<host_id>")``),
+never from registration order, so registering hosts in a different
+order — or re-admitting one after a crash — reproduces the same
+streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.core.supervisor import Supervisor, SupervisorConfig
+from repro.fleetd.policy import PolicySpec, build_controller
+from repro.sim.host import Host, HostConfig
+from repro.sim.rng import derive_seed
+from repro.workloads.apps import APP_CATALOG
+from repro.workloads.base import Workload
+from repro.workloads.tax import TAX_PROFILES, TaxWorkload
+from repro.workloads.web import WebWorkload
+
+_GB = 1 << 30
+
+
+class RegistryError(ValueError):
+    """A registry operation that cannot be honoured (dup/unknown id)."""
+
+
+@dataclass
+class HostEntry:
+    """One registered host and its control-plane bookkeeping.
+
+    Attributes:
+        host_id: the operator-chosen registry key.
+        app: app-catalog profile the host runs.
+        host: the live simulated server.
+        supervisor: the supervisor wrapping the host's policy
+            controller (also present in ``host.controllers()``).
+        spec: the policy the host is *supposed* to run — the rollout
+            engine's source of truth when a recovered host must
+            converge.
+        generation: monotonic policy generation this host is on;
+            bumped on every applied rollout wave, reverted on rollback.
+        registered_tick: engine tick index at registration; the
+            engine's per-host tick target is measured from here.
+        epoch_s: the engine's simulated time at registration. A host's
+            metric series run on its own clock starting at zero, so
+            anything comparing them against engine time (the rollout
+            health gates) must shift windows by this offset.
+        spool_path: where this host's snapshot envelope is spooled.
+        spool_generation: the policy generation the latest spool was
+            taken under (a recovery restoring an older spool uses this
+            to detect a stale controller).
+        wedged_until_tick: engine tick until which the host's worker is
+            hung (the ``worker_hang`` chaos seam); the host does not
+            tick while wedged and catches up after.
+        size_scale / include_tax: the build parameters, kept so crash
+            recovery can rebuild the host from scratch when no valid
+            spool exists.
+    """
+
+    host_id: str
+    app: str
+    host: Host
+    supervisor: Supervisor
+    spec: PolicySpec
+    generation: int = 0
+    registered_tick: int = 0
+    epoch_s: float = 0.0
+    spool_path: Optional[str] = None
+    spool_generation: int = 0
+    wedged_until_tick: int = 0
+    size_scale: float = 1.0
+    include_tax: bool = True
+
+    @property
+    def wedged(self) -> bool:
+        return self.wedged_until_tick > 0
+
+    def status(self) -> Dict[str, object]:
+        """JSON-clean summary for ``fleetd status``."""
+        return {
+            "host_id": self.host_id,
+            "app": self.app,
+            "policy": self.spec.to_json(),
+            "generation": self.generation,
+            "ticks": self.host.tick_count,
+            "alive": self.supervisor.alive,
+            "quarantined": self.supervisor.quarantined,
+            "restarts": self.supervisor.restart_count,
+            "wedged": self.wedged,
+        }
+
+
+def build_fleetd_host(
+    base_config: HostConfig,
+    fleet_seed: int,
+    host_id: str,
+    app: str,
+    spec: PolicySpec,
+    supervisor_config: SupervisorConfig,
+    size_scale: float = 1.0,
+    include_tax: bool = True,
+) -> Host:
+    """Construct one registered host with its derived seed.
+
+    The :func:`repro.core.fleet.build_fleet_host` recipe (app container
+    named ``app``, per-64GB-rescaled tax sidecars), except the
+    controller comes from a :class:`~repro.fleetd.policy.PolicySpec`
+    and runs supervised so the control plane can swap it live.
+    """
+    if app not in APP_CATALOG:
+        raise RegistryError(
+            f"unknown app {app!r}; have {sorted(APP_CATALOG)}"
+        )
+    profile = APP_CATALOG[app]
+    config = replace(
+        base_config,
+        backend=base_config.backend or profile.preferred_backend,
+        seed=derive_seed(fleet_seed, f"fleetd:{host_id}"),
+    )
+    host = Host(config)
+    if profile.name == "Web":
+        host.add_workload(WebWorkload, name="app", size_scale=size_scale)
+    else:
+        host.add_workload(
+            Workload, profile=profile, name="app", size_scale=size_scale
+        )
+    if include_tax:
+        tax_scale = config.ram_bytes / (64.0 * _GB)
+        for kind in TAX_PROFILES:
+            slug = kind.lower().replace(" ", "-")
+            host.add_workload(
+                TaxWorkload, name=slug, kind=kind, size_scale=tax_scale
+            )
+    host.add_controller(
+        Supervisor(build_controller(spec), supervisor_config)
+    )
+    return host
+
+
+@dataclass
+class HostRegistry:
+    """Insertion-ordered registry of live host entries."""
+
+    entries: Dict[str, HostEntry] = field(default_factory=dict)
+
+    def add(self, entry: HostEntry) -> None:
+        if entry.host_id in self.entries:
+            raise RegistryError(
+                f"host {entry.host_id!r} is already registered"
+            )
+        self.entries[entry.host_id] = entry
+
+    def remove(self, host_id: str) -> HostEntry:
+        entry = self.entries.pop(host_id, None)
+        if entry is None:
+            raise RegistryError(f"host {host_id!r} is not registered")
+        return entry
+
+    def get(self, host_id: str) -> HostEntry:
+        entry = self.entries.get(host_id)
+        if entry is None:
+            raise RegistryError(f"host {host_id!r} is not registered")
+        return entry
+
+    def __contains__(self, host_id: str) -> bool:
+        return host_id in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def ids(self):
+        """Registered host ids, in registration order."""
+        return list(self.entries)
+
+    def values(self):
+        return list(self.entries.values())

@@ -46,6 +46,12 @@ METRIC_NAMES: Dict[str, str] = {
     "supervisor/quarantined":
         "1.0 at the edge where the restart budget is exhausted and "
         "the controller is abandoned",
+    "supervisor/unquarantined":
+        "cumulative manual un-quarantine operations, recorded at each "
+        "re-admission edge",
+    "fleetd/generation":
+        "policy generation the control plane applied to this host "
+        "(recorded at rollout apply/rollback/recovery edges)",
 }
 
 #: Per-cgroup families recorded as ``<cgroup>/<suffix>``: suffix ->

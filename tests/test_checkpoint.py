@@ -245,3 +245,59 @@ def test_zswap_fault_state_survives_restore_independently():
     assert restored.swap_backend.faults.latency_multiplier == 1.0
     assert restored.fs.device.faults.latency_multiplier == 3.0
     assert restored.fs.device.faults.io_error_rate == 0.0
+
+
+# ----------------------------------------------------------------------
+# controller codec: gswap + the control-plane supervisor fields
+
+
+def test_gswap_controller_codec_round_trips():
+    from repro.checkpoint.controllers import (
+        decode_controller,
+        encode_controller,
+    )
+    from repro.core.gswap import GSwapConfig, GSwapController, _GswapState
+
+    controller = GSwapController(GSwapConfig(
+        target_promotion_rate=42.0, interval_s=7.0, cgroups=("app",),
+    ))
+    controller._states["app"] = _GswapState(
+        step_frac=0.004, last_pswpin=123, seen=True,
+    )
+    controller._next_poll = 99.0
+    doc = encode_controller(controller)
+    restored = decode_controller(doc)
+    assert isinstance(restored, GSwapController)
+    assert restored.config == controller.config
+    assert restored._states == controller._states
+    assert restored._next_poll == 99.0
+    # Round-tripping the restored instance is byte-stable.
+    assert encode_controller(restored) == doc
+
+
+def test_supervisor_codec_carries_unquarantine_count():
+    from repro.checkpoint.controllers import (
+        decode_controller,
+        encode_controller,
+    )
+    from repro.core.supervisor import Supervisor, SupervisorConfig
+
+    sup = Supervisor(Senpai(SenpaiConfig()), SupervisorConfig())
+    sup.unquarantine_count = 3
+    doc = encode_controller(sup)
+    assert doc["unquarantine_count"] == 3
+    assert decode_controller(doc).unquarantine_count == 3
+
+
+def test_supervisor_codec_defaults_unquarantine_count_for_old_snapshots():
+    from repro.checkpoint.controllers import (
+        decode_controller,
+        encode_controller,
+    )
+    from repro.core.supervisor import Supervisor, SupervisorConfig
+
+    doc = encode_controller(
+        Supervisor(Senpai(SenpaiConfig()), SupervisorConfig())
+    )
+    del doc["unquarantine_count"]  # a pre-control-plane snapshot
+    assert decode_controller(doc).unquarantine_count == 0

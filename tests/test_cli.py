@@ -151,8 +151,12 @@ def test_chaos_fleet_writes_verdict_json(tmp_path, capsys):
     assert code == 0
     assert "PASS" in out
     assert "all 1 fleet-chaos runs passed" in out
-    import json
-    doc = json.loads(out_path.read_text())
+    from repro.faults.chaos import load_chaos_verdicts
+
+    doc = load_chaos_verdicts(str(out_path))  # validates the envelope
+    assert doc["mode"] == "fleet"
+    assert doc["seeds"] == [5]
+    assert doc["config"]["duration_s"] == 60.0
     assert len(doc["verdicts"]) == 1
     verdict = doc["verdicts"][0]
     assert verdict["seed"] == 5 and verdict["passed"] is True
@@ -166,3 +170,144 @@ def test_chaos_hang_timeout_flag_is_threaded(capsys):
         ["chaos", "--hang-timeout", "45.5"]
     )
     assert args.hang_timeout == 45.5
+
+
+def test_chaos_fleet_and_fleetd_are_mutually_exclusive(capsys):
+    code = main(["chaos", "--fleet", "--fleetd"])
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_chaos_fleetd_writes_versioned_verdict(tmp_path, capsys):
+    from repro.faults.chaos import load_chaos_verdicts
+
+    out_path = tmp_path / "verdict.json"
+    code = main([
+        "chaos", "--fleetd", "--seeds", "1", "--out", str(out_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "all 1 fleetd-chaos runs passed" in out
+    doc = load_chaos_verdicts(str(out_path))
+    assert doc["mode"] == "fleetd"
+    assert doc["seeds"] == [1]
+    assert doc["config"]["hosts"] == 4
+    verdict = doc["verdicts"][0]
+    assert verdict["passed"] is True
+    assert verdict["digest"] == verdict["rerun_digest"]
+
+
+def test_fleet_resilience_knobs_are_threaded(capsys):
+    # The knobs must reach FleetResilienceConfig without derailing a
+    # fault-free rollout.
+    code = main([
+        "fleet", "--apps", "Feed", "--count", "1",
+        "--duration", "60", "--ram-gb", "0.25",
+        "--size-scale", "0.003", "--workers", "1",
+        "--max-attempts", "2", "--deadline-min-s", "5",
+        "--checkpoint-every-sim-s", "30",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "all 1 planned hosts completed" in out
+
+
+def test_fleet_rejects_bad_resilience_knobs(capsys):
+    code = main([
+        "fleet", "--apps", "Feed", "--count", "1",
+        "--duration", "60", "--max-attempts", "0",
+    ])
+    assert code == 2
+    assert "bad resilience knobs" in capsys.readouterr().err
+
+
+def test_parse_policy_args_decodes_values_as_json():
+    from repro.cli import _parse_policy_args
+
+    doc = _parse_policy_args(
+        "senpai", ["interval_s=4.0", "psi_threshold=0.01"]
+    )
+    assert doc == {
+        "kind": "senpai",
+        "params": {"interval_s": 4.0, "psi_threshold": 0.01},
+    }
+    assert _parse_policy_args("senpai", None)["params"] == {}
+    with pytest.raises(ValueError, match="key=value"):
+        _parse_policy_args("senpai", ["no-equals-sign"])
+
+
+def test_fleetd_cli_round_trip(tmp_path, capsys):
+    """Every client verb over a live daemon socket."""
+    from repro.fleetd.engine import FleetdConfig, FleetdEngine
+    from repro.fleetd.rollout import RolloutConfig
+    from repro.fleetd.server import FleetdServer
+    from repro.sim.host import HostConfig
+
+    MB = 1 << 20
+    engine = FleetdEngine(FleetdConfig(
+        seed=11,
+        base_config=HostConfig(
+            ram_gb=0.25, page_size_bytes=1 * MB, ncpu=4,
+        ),
+        rollout=RolloutConfig(
+            canary_frac=0.34, wave_frac=1.0,
+            baseline_s=20.0, soak_s=20.0,
+        ),
+        checkpoint_every_s=15.0,
+        spool_dir=str(tmp_path / "spool"),
+    ))
+    sock = str(tmp_path / "fleetd.sock")
+    server = FleetdServer(engine, sock, tick_interval_s=5.0)
+    server.start()
+    try:
+        for i in range(3):
+            assert main([
+                "fleetd", "register", f"h{i}", "--socket", sock,
+                "--app", "Feed" if i % 2 == 0 else "Web",
+            ]) == 0
+        assert main(["fleetd", "run", "--ticks", "25",
+                     "--socket", sock]) == 0
+        result_path = tmp_path / "rollout.json"
+        assert main([
+            "fleetd", "rollout", "--policy", "autotune",
+            "--wait", "--out", str(result_path), "--socket", sock,
+        ]) == 0
+        assert main(["fleetd", "rollout-status", "--id", "1",
+                     "--socket", sock]) == 0
+        assert main(["fleetd", "status", "--socket", sock]) == 0
+        assert main(["fleetd", "reset-quarantine", "h0",
+                     "--socket", sock]) == 0
+        assert main(["fleetd", "deregister", "h2",
+                     "--socket", sock]) == 0
+        assert main(["fleetd", "rollback", "--socket", sock]) == 0
+        assert main(["fleetd", "kill-switch", "--socket", sock]) == 0
+        # Frozen fleet: a new rollout is refused with exit 1.
+        assert main([
+            "fleetd", "rollout", "--policy", "senpai", "--socket", sock,
+        ]) == 1
+        assert main(["fleetd", "stop", "--socket", sock]) == 0
+    finally:
+        server.stop()
+        engine.close()
+    out, err = capsys.readouterr()
+    assert "registered h0" in out
+    assert "rollout 1: succeeded" in out
+    assert "was not quarantined" in out
+    assert "no active rollout" in out
+    assert "kill switch engaged" in out
+    assert "kill switch" in err
+    import json
+
+    from repro.fleetd.rollout import parse_rollout_result
+
+    envelope = parse_rollout_result(
+        json.loads(result_path.read_text())
+    )
+    assert envelope["status"] == "succeeded"
+    assert envelope["policy"]["kind"] == "autotune"
+
+
+def test_fleetd_cli_reports_unreachable_daemon(tmp_path, capsys):
+    sock = str(tmp_path / "nothing.sock")
+    assert main(["fleetd", "status", "--socket", sock]) == 1
+    assert "cannot reach" in capsys.readouterr().err

@@ -144,3 +144,77 @@ def test_fleet_report_failures_name_each_gap():
     assert "quarantined" in reasons
     assert "digest mismatch" in reasons
     assert "FAIL" in format_fleet_chaos(report)
+
+
+# ----------------------------------------------------------------------
+# the versioned verdict artifact
+
+
+def test_chaos_verdict_artifact_round_trips(tmp_path):
+    from repro.faults.chaos import (
+        CHAOS_VERDICT_SCHEMA_VERSION,
+        chaos_verdict_document,
+        load_chaos_verdicts,
+        write_chaos_verdicts,
+    )
+
+    doc = chaos_verdict_document(
+        "fleet", [1, 2], {"duration_s": 60.0},
+        [{"seed": 1, "passed": True}, {"seed": 2, "passed": True}],
+    )
+    path = tmp_path / "verdict.json"
+    write_chaos_verdicts(doc, str(path))
+    loaded = load_chaos_verdicts(str(path))
+    assert loaded == doc
+    assert loaded["schema_version"] == CHAOS_VERDICT_SCHEMA_VERSION
+    assert loaded["kind"] == "chaos-verdict"
+    assert loaded["config"] == {"duration_s": 60.0}
+
+
+def test_chaos_verdict_document_validates_inputs():
+    from repro.faults.chaos import chaos_verdict_document
+
+    with pytest.raises(ValueError, match="mode"):
+        chaos_verdict_document("solo", [1], {}, [{"passed": True}])
+    with pytest.raises(ValueError, match="verdicts for"):
+        chaos_verdict_document("fleet", [1, 2], {}, [{"passed": True}])
+
+
+def test_load_chaos_verdicts_refuses_foreign_artifacts(tmp_path):
+    import json
+
+    from repro.faults.chaos import (
+        chaos_verdict_document,
+        load_chaos_verdicts,
+    )
+
+    path = tmp_path / "bad.json"
+
+    def write(payload):
+        path.write_text(json.dumps(payload))
+
+    write([1, 2, 3])
+    with pytest.raises(ValueError, match="not an object"):
+        load_chaos_verdicts(str(path))
+    # The pre-versioning bare shape is refused with a regeneration hint.
+    write({"verdicts": [{"seed": 1, "passed": True}]})
+    with pytest.raises(ValueError, match="pre-versioning"):
+        load_chaos_verdicts(str(path))
+    good = chaos_verdict_document(
+        "fleet", [1], {"duration_s": 60.0}, [{"passed": True}]
+    )
+    write({**good, "schema_version": 99})
+    with pytest.raises(ValueError, match="schema_version"):
+        load_chaos_verdicts(str(path))
+    write({**good, "mode": "henhouse"})
+    with pytest.raises(ValueError, match="unknown mode"):
+        load_chaos_verdicts(str(path))
+    write({**good, "seeds": [1, 2]})
+    with pytest.raises(ValueError, match="verdicts for"):
+        load_chaos_verdicts(str(path))
+    write({**good, "verdicts": [{"seed": 1}]})
+    with pytest.raises(ValueError, match="pass/fail"):
+        load_chaos_verdicts(str(path))
+    write({**good, "config": None})
+    with pytest.raises(ValueError, match="config provenance"):
+        load_chaos_verdicts(str(path))

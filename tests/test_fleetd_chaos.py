@@ -1,0 +1,109 @@
+"""``chaos --fleetd``: rollout storms under controller/worker faults.
+
+The satellite acceptance coverage: a rollout storm with
+``controller_crash`` / ``worker_hang`` faults must end with every host
+on a single policy, digest-deterministic per seed, with the kill
+switch winning unconditionally.
+"""
+
+import pytest
+
+from repro.fleetd.chaos import (
+    BAD_POLICY,
+    FleetdChaosConfig,
+    FleetdChaosReport,
+    format_fleetd_chaos,
+    run_fleetd_chaos,
+)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_rollout_storm_degrades_gracefully(seed):
+    report = run_fleetd_chaos(FleetdChaosConfig(seed=seed))
+    assert report.passed, report.failures()
+    # Every rollout record is terminal; the storm always fires the
+    # good rollout, the bad one, and the kill-switch interruption.
+    assert "succeeded" in report.rollout_statuses
+    assert "rolled_back" in report.rollout_statuses
+    assert "killed" in report.rollout_statuses
+    # No host on a mixed policy, none stuck in quarantine.
+    assert report.single_policy
+    assert report.quarantined_hosts == 0
+    # The kill switch won and stayed won.
+    assert report.kill_switch_killed >= 1
+    assert report.frozen_after_kill
+    assert report.post_kill_refused
+    # Determinism witness: both executions digest identically.
+    assert report.digest == report.rerun_digest
+    assert "PASS" in format_fleetd_chaos(report)
+
+
+def test_storm_digests_differ_across_seeds():
+    a = run_fleetd_chaos(FleetdChaosConfig(seed=1))
+    b = run_fleetd_chaos(FleetdChaosConfig(seed=2))
+    assert a.digest != b.digest
+    assert a.plan_digest != b.plan_digest
+
+
+def test_bad_policy_constant_is_actually_bad():
+    # The storm's forcing function: unreachable pressure target with a
+    # huge reclaim step. If someone "fixes" these values the gate-trip
+    # leg of the storm silently stops testing anything.
+    params = dict(BAD_POLICY.params)
+    assert params["psi_threshold"] >= 1.0
+    assert params["reclaim_ratio"] >= 0.1
+
+
+def test_report_failures_name_each_gap():
+    report = FleetdChaosReport(
+        seed=9,
+        hosts=2,
+        rollout_statuses=("running",),
+        final_generations={"h0": 1, "h1": 1},
+        final_policies={
+            "h0": {"kind": "senpai", "params": {}},
+            "h1": {"kind": "gswap", "params": {}},
+        },
+        kill_switch_killed=0,
+        frozen_after_kill=False,
+        post_kill_refused=False,
+        digest="aa",
+        rerun_digest="bb",
+    )
+    assert not report.passed
+    reasons = " ".join(report.failures())
+    assert "mixed policies" in reasons
+    assert "non-terminal" in reasons
+    assert "kill switch" in reasons
+    assert "frozen" in reasons
+    assert "post-kill" in reasons
+    assert "diverged" in reasons
+    assert "FAIL" in format_fleetd_chaos(report)
+
+
+def test_single_policy_allows_younger_generations_of_same_spec():
+    # A re-admitted host legitimately carries generation 0 of the same
+    # committed policy; only *spec* divergence is a mixed fleet.
+    report = FleetdChaosReport(
+        seed=1,
+        hosts=2,
+        final_generations={"h0": 2, "h1": 0},
+        final_policies={
+            "h0": {"kind": "autotune", "params": {}},
+            "h1": {"kind": "autotune", "params": {}},
+        },
+    )
+    assert report.single_policy
+
+
+def test_single_policy_rejects_spec_divergence_within_a_generation():
+    report = FleetdChaosReport(
+        seed=1,
+        hosts=2,
+        final_generations={"h0": 1, "h1": 1},
+        final_policies={
+            "h0": {"kind": "autotune", "params": {}},
+            "h1": {"kind": "senpai", "params": {}},
+        },
+    )
+    assert not report.single_policy

@@ -1,0 +1,99 @@
+"""PolicySpec: validation, wire form, controller construction."""
+
+import pytest
+
+from repro.core.autotune import AutoTuneSenpai
+from repro.core.gswap import GSwapController
+from repro.core.senpai import Senpai
+from repro.fleetd.policy import (
+    POLICY_KINDS,
+    PolicyError,
+    PolicySpec,
+    build_controller,
+)
+
+
+def test_default_spec_is_senpai_defaults():
+    spec = PolicySpec()
+    assert spec.kind == "senpai"
+    assert spec.params == ()
+    assert spec.describe() == "senpai(defaults)"
+
+
+def test_unknown_kind_is_refused():
+    with pytest.raises(PolicyError, match="unknown policy kind"):
+        PolicySpec.make("lru-madness")
+
+
+def test_unknown_parameter_is_refused_with_allowed_list():
+    with pytest.raises(PolicyError, match="no parameter"):
+        PolicySpec.make("senpai", {"not_a_knob": 1.0})
+
+
+def test_unsettable_fields_are_refused():
+    # slo_tiers is a nested structure a JSON-flat spec cannot carry.
+    with pytest.raises(PolicyError, match="no parameter"):
+        PolicySpec.make("senpai", {"slo_tiers": 1})
+
+
+def test_non_scalar_value_is_refused():
+    with pytest.raises(PolicyError, match="JSON scalar"):
+        PolicySpec.make("senpai", {"psi_threshold": [1, 2]})
+
+
+def test_make_canonicalizes_param_order():
+    a = PolicySpec.make("senpai", {"interval_s": 4.0, "psi_threshold": 0.01})
+    b = PolicySpec.make("senpai", {"psi_threshold": 0.01, "interval_s": 4.0})
+    assert a == b
+    assert a.params == (("interval_s", 4.0), ("psi_threshold", 0.01))
+
+
+def test_wire_round_trip():
+    spec = PolicySpec.make("gswap", {"target_promotion_rate": 42.0})
+    assert PolicySpec.from_json(spec.to_json()) == spec
+
+
+def test_from_json_rejects_malformed_documents():
+    with pytest.raises(PolicyError, match="must be an object"):
+        PolicySpec.from_json("senpai")
+    with pytest.raises(PolicyError, match="missing 'kind'"):
+        PolicySpec.from_json({"params": {}})
+    with pytest.raises(PolicyError, match="'params' must be an object"):
+        PolicySpec.from_json({"kind": "senpai", "params": [1]})
+
+
+def test_autotune_accepts_base_prefixed_senpai_params():
+    spec = PolicySpec.make("autotune", {"base.reclaim_ratio": 0.001})
+    controller = build_controller(spec)
+    assert isinstance(controller, AutoTuneSenpai)
+    assert controller.tune.base.reclaim_ratio == 0.001
+
+
+def test_autotune_rejects_unknown_base_params():
+    with pytest.raises(PolicyError, match="no parameter"):
+        PolicySpec.make("autotune", {"base.not_a_knob": 1.0})
+
+
+@pytest.mark.parametrize("kind,cls", [
+    ("senpai", Senpai),
+    ("autotune", AutoTuneSenpai),
+    ("gswap", GSwapController),
+])
+def test_build_controller_constructs_each_kind(kind, cls):
+    assert kind in POLICY_KINDS
+    controller = build_controller(PolicySpec.make(kind))
+    assert isinstance(controller, cls)
+
+
+def test_build_controller_returns_fresh_instances():
+    spec = PolicySpec.make("senpai", {"interval_s": 4.0})
+    assert build_controller(spec) is not build_controller(spec)
+
+
+def test_build_controller_refuses_foreign_kind():
+    # Defensive branch: a spec whose kind slipped past validation
+    # (e.g. a future kind decoded by older code) must not build.
+    spec = PolicySpec.make("senpai")
+    object.__setattr__(spec, "kind", "from-the-future")
+    with pytest.raises(PolicyError, match="unknown policy kind"):
+        build_controller(spec)

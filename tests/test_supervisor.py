@@ -298,3 +298,66 @@ def test_default_config_never_quarantines():
         now += 1.0
     assert sup.quarantined is False
     assert sup.restart_count == 10
+
+
+# ----------------------------------------------------------------------
+# live controller swap + manual un-quarantine (the control plane's
+# seams; see repro.fleetd)
+
+
+def test_replace_controller_resets_watchdog_bookkeeping():
+    host = make_host()
+    sup = Supervisor(
+        Senpai(SenpaiConfig(interval_s=30.0)),
+        SupervisorConfig(restart_backoff_s=10.0),
+    )
+    sup.poll(host, 0.0)
+    replacement = Senpai(SenpaiConfig(interval_s=5.0))
+    sup.replace_controller(replacement)
+    assert sup.controller is replacement
+    assert sup._persisted is None
+    assert sup._last_heartbeat_s is None
+    assert sup.alive  # liveness is untouched by a policy swap
+    # The replacement polls normally from here on.
+    sup.poll(host, 1.0)
+    assert sup.alive
+
+
+def test_replace_controller_does_not_revive_a_quarantined_host():
+    host = make_host()
+    sup = Supervisor(failing_senpai(), SupervisorConfig(
+        restart_backoff_s=1.0, max_restarts=0,
+    ))
+    sup.poll(host, 0.0)  # death 1 -> immediate quarantine
+    assert sup.quarantined
+    sup.replace_controller(Senpai(SenpaiConfig()))
+    assert sup.quarantined
+    assert not sup.alive
+
+
+def test_reset_quarantine_is_a_noop_when_healthy():
+    host = make_host()
+    sup = Supervisor(Senpai(SenpaiConfig()), SupervisorConfig())
+    assert sup.reset_quarantine(host, 0.0) is False
+    assert sup.unquarantine_count == 0
+    assert len(host.metrics.series("supervisor/unquarantined")) == 0
+
+
+def test_reset_quarantine_restarts_and_records_the_edge():
+    host = make_host()
+    sup = Supervisor(failing_senpai(), SupervisorConfig(
+        restart_backoff_s=10.0, max_restarts=0,
+    ))
+    sup.poll(host, 0.0)  # death 1 -> quarantine (budget 0)
+    assert sup.quarantined and not sup.alive
+    assert sup.reset_quarantine(host, 50.0) is True
+    assert sup.alive and not sup.quarantined
+    assert sup.unquarantine_count == 1
+    edges = host.metrics.series("supervisor/unquarantined")
+    assert list(zip(edges.times, edges.values)) == [(50.0, 1.0)]
+    # The restart budget is fresh: another death restarts again
+    # instead of re-quarantining immediately... (max_restarts=0 means
+    # the *next* consecutive death quarantines again, but the reset
+    # cleared the current streak, so a healthy run continues.)
+    sup.poll(host, 51.0)
+    assert sup.alive
