@@ -8,13 +8,18 @@ hosts, then exercises both legs of the guarded-rollout state machine
   gate and commits, and
 * a deliberately bad policy (unreachable pressure target, huge reclaim
   step) whose canary trips the gate — the engine auto-rolls the canary
-  back from its pre-apply checkpoint and nobody is quarantined.
+  back from its pre-apply checkpoint and nobody is quarantined, and
+* the read-only query surface against the live daemon: ``metrics``
+  (host → region → fleet rollup envelope, validated on read, NaN-free)
+  and ``top`` (hosts ranked by a signal), with regions on the
+  registered hosts.
 
-Both RolloutResult envelopes are written next to the working directory
-(CI uploads them as artifacts):
+The envelopes are written next to the working directory (CI uploads
+them as artifacts):
 
     fleetd-rollout-pass.json
     fleetd-rollout-tripped.json
+    fleetd-rollup-fleet.json
 
 Run:  python examples/fleetd_smoke.py
 """
@@ -26,6 +31,7 @@ import tempfile
 from repro.fleetd.client import FleetdClient
 from repro.fleetd.engine import FleetdConfig, FleetdEngine
 from repro.fleetd.rollout import RolloutConfig, parse_rollout_result
+from repro.fleetd.rollup import parse_fleet_rollup
 from repro.fleetd.server import FleetdServer
 from repro.sim.host import HostConfig
 
@@ -94,9 +100,13 @@ def main() -> int:
     client = FleetdClient(server.socket_path)
     try:
         print(f"fleetd up on {server.socket_path}")
+        regions = ["east", "west", "east"]
         for i, app in enumerate(["Feed", "Web", "Feed"]):
-            client.register(f"h{i}", app, size_scale=0.003)
-        print("registered 3 hosts; warming the fleet ...")
+            client.register(
+                f"h{i}", app, size_scale=0.003, region=regions[i]
+            )
+        print("registered 3 hosts across 2 regions; "
+              "warming the fleet ...")
         client.run_ticks(25)
 
         print("rollout 1: autotune across the fleet (guarded waves)")
@@ -114,6 +124,26 @@ def main() -> int:
         assert len(bad["waves"]) == 1  # only the canary saw it
         write_artifact("fleetd-rollout-tripped.json", bad)
         print(f"  gate tripped: {bad['rollback_reason']}")
+
+        print("query surface: metrics + top against the live daemon")
+        rollup = client.metrics(window_s=30.0)  # validated on read
+        parse_fleet_rollup(rollup)  # and again before archiving
+        assert rollup["fleet"]["hosts"] == 3, rollup["fleet"]
+        assert set(rollup["regions"]) == {"east", "west"}, (
+            rollup["regions"]
+        )
+        assert rollup["fleet"]["signals"]["psi_mem_some"]["samples"] \
+            > 0, rollup["fleet"]["signals"]
+        with open("fleetd-rollup-fleet.json", "w",
+                  encoding="utf-8") as fh:
+            json.dump(rollup, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("  wrote fleetd-rollup-fleet.json")
+        top = client.top("psi_mem_some", n=3, window_s=30.0)
+        assert len(top["hosts"]) == 3, top
+        leader = top["hosts"][0]
+        print(f"  top psi_mem_some: {leader['host_id']} "
+              f"({leader['region']}) mean={leader['mean']}")
 
         status = client.status()
         committed = status["committed_policy"]

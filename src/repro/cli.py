@@ -20,9 +20,11 @@ Commands:
   ``--max-attempts`` / ``--deadline-min-s`` /
   ``--checkpoint-every-sim-s`` resilience knobs.
 * ``fleetd`` — the live control-plane daemon (docs/RESILIENCE.md,
-  "Control plane"): host registration, guarded policy rollouts with
-  health-gated canary waves and auto-rollback, and the fleet kill
-  switch, over a Unix socket.
+  "Control plane"): host registration (with a placement ``--region``
+  label), guarded policy rollouts with health-gated canary waves and
+  auto-rollback, the fleet kill switch, and the read-only query
+  surface (``metrics`` — host/region/fleet rollup envelopes, ``top``
+  — hosts ranked by a signal), over a Unix socket.
 * ``crash-equivalence`` — prove checkpoint → kill → restore → continue
   matches the uninterrupted run digest-for-digest (``--workers`` farms a
   seed sweep over processes).
@@ -599,6 +601,7 @@ def _cmd_fleetd(args) -> int:
             entry = client.register(
                 args.host_id, args.app, policy=policy,
                 size_scale=args.size_scale,
+                region=args.region,
             )
             print(f"registered {args.host_id}: "
                   f"{json.dumps(entry, sort_keys=True)}")
@@ -654,6 +657,22 @@ def _cmd_fleetd(args) -> int:
             print(f"{args.host_id}: "
                   + ("controller un-quarantined and restarted"
                      if reset else "was not quarantined"))
+        elif args.fleetd_command == "metrics":
+            # Validated on read by the client (schema version, kind,
+            # NaN-free) — a daemon/CLI version skew fails loudly here
+            # instead of printing a half-foreign document.
+            rollup = client.metrics(window_s=args.window)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    json.dump(rollup, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"fleet rollup written to {args.out}")
+            print(json.dumps(rollup, indent=2, sort_keys=True))
+        elif args.fleetd_command == "top":
+            report = client.top(
+                args.signal, n=args.n, window_s=args.window
+            )
+            print(json.dumps(report, indent=2, sort_keys=True))
         elif args.fleetd_command == "run":
             tick = client.run_ticks(args.ticks)
             print(f"advanced to tick {tick}")
@@ -919,6 +938,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="policy parameter (repeatable)")
     fd_reg.add_argument("--size-scale", type=float, default=0.003,
                         help="fraction of the production footprint")
+    fd_reg.add_argument("--region", default="default",
+                        help="placement region label; rollups fold "
+                             "host -> region -> fleet and wave "
+                             "planning never makes one region "
+                             "all-canary (default: 'default')")
 
     fd_dereg = _fd_client_parser(
         "deregister", "remove a host from the fleet"
@@ -964,6 +988,30 @@ def build_parser() -> argparse.ArgumentParser:
         "manually un-quarantine a host's supervised controller",
     )
     fd_rq.add_argument("host_id")
+
+    fd_metrics = _fd_client_parser(
+        "metrics",
+        "print the read-only host/region/fleet metric rollup envelope",
+    )
+    fd_metrics.add_argument("--window", type=float, default=60.0,
+                            help="trailing window per host "
+                                 "(simulated seconds, default 60)")
+    fd_metrics.add_argument("--out", default=None, metavar="PATH",
+                            help="also write the validated envelope "
+                                 "here (the CI artifact)")
+
+    fd_top = _fd_client_parser(
+        "top", "rank hosts by a rollup signal's window mean"
+    )
+    fd_top.add_argument("--signal", default="psi_mem_some",
+                        help="signal to rank by (psi_mem_some, "
+                             "psi_io_some, refault_rate, "
+                             "promotion_rate, swap_bytes, zswap_bytes)")
+    fd_top.add_argument("-n", type=int, default=5,
+                        help="how many hosts (default 5)")
+    fd_top.add_argument("--window", type=float, default=60.0,
+                        help="trailing window per host "
+                             "(simulated seconds, default 60)")
 
     fd_run = _fd_client_parser(
         "run", "advance the daemon's simulated clock synchronously"

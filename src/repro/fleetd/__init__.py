@@ -20,6 +20,11 @@ This package is that production shape for the reproduction:
 * :mod:`repro.fleetd.health` — streaming per-host metric rollups (PSI,
   refaults, OOM kills, breaker state, supervisor quarantine) and the
   gate evaluation;
+* :mod:`repro.fleetd.rollup` — the read-only query surface: fixed-size
+  mergeable host → region → fleet signal summaries behind the
+  ``metrics``/``top`` verbs, built entirely on non-registering metric
+  reads so querying a live fleet never perturbs its digests
+  (query-twice == query-never, asserted by ``chaos --fleetd``);
 * :mod:`repro.fleetd.server` / :mod:`repro.fleetd.client` — the socket
   control surface (newline-delimited JSON over a Unix domain socket)
   and its client, driven by the ``repro fleetd`` CLI verbs;
@@ -35,14 +40,26 @@ from repro.fleetd.engine import FleetdConfig, FleetdEngine
 from repro.fleetd.health import HealthGateConfig, HealthSample
 from repro.fleetd.policy import PolicySpec, build_controller
 from repro.fleetd.rollout import RolloutConfig, RolloutResult
+from repro.fleetd.rollup import (
+    FleetRollup,
+    HostRollup,
+    RegionRollup,
+    RollupEngine,
+    SignalSummary,
+)
 
 __all__ = [
     "FleetdConfig",
     "FleetdEngine",
+    "FleetRollup",
     "HealthGateConfig",
     "HealthSample",
+    "HostRollup",
     "PolicySpec",
     "build_controller",
+    "RegionRollup",
     "RolloutConfig",
     "RolloutResult",
+    "RollupEngine",
+    "SignalSummary",
 ]

@@ -21,7 +21,12 @@ The graceful-degradation verdict:
 * every rollout record is terminal (nothing left ``running``);
 * **determinism**: the storm runs twice and both runs must produce
   byte-identical outcome digests (rollout results, final generations,
-  per-host metric digests, recovery counts).
+  per-host metric digests, recovery counts);
+* **query neutrality**: the storm interleaves read-only rollup
+  queries (``fleet_rollup`` + ``top_hosts``, envelope-encoded and
+  validated) at every control round; a third run makes *zero* queries
+  and must produce the same outcome digest — observing the fleet is
+  provably free of side effects on the metrics it reads.
 """
 
 from __future__ import annotations
@@ -35,6 +40,11 @@ from repro.faults.plan import CONTROLLER_KINDS, FaultPlan
 from repro.fleetd.engine import FleetdConfig, FleetdEngine, FleetdError
 from repro.fleetd.policy import PolicySpec
 from repro.fleetd.rollout import RolloutConfig
+from repro.fleetd.rollup import (
+    encode_envelope,
+    parse_fleet_rollup,
+    parse_top_report,
+)
 from repro.sim.host import HostConfig
 
 _MB = 1 << 20
@@ -97,10 +107,16 @@ class FleetdChaosReport:
     kill_switch_killed: int = 0
     frozen_after_kill: bool = False
     post_kill_refused: bool = False
+    #: Read-only rollup queries interleaved into the storm (0 in the
+    #: quiet control run).
+    queries: int = 0
     #: SHA-256 over the storm's canonical outcome document.
     digest: str = ""
     #: Digest of the verification re-run (must equal ``digest``).
     rerun_digest: str = ""
+    #: Digest of the zero-query control run (must equal ``digest`` —
+    #: the query-neutrality witness).
+    quiet_digest: str = ""
     plan_digest: str = ""
     error: Optional[str] = None
 
@@ -144,6 +160,8 @@ class FleetdChaosReport:
             and self.post_kill_refused
             and self.digest != ""
             and self.digest == self.rerun_digest
+            and self.queries > 0
+            and self.digest == self.quiet_digest
         )
 
     def failures(self) -> Tuple[str, ...]:
@@ -172,6 +190,14 @@ class FleetdChaosReport:
                 f"storm digests diverged across reruns: "
                 f"{self.digest[:16]} != {self.rerun_digest[:16]}"
             )
+        if self.queries < 1:
+            reasons.append("storm interleaved no rollup queries")
+        if self.digest != self.quiet_digest:
+            reasons.append(
+                f"rollup queries perturbed the storm "
+                f"(query-neutrality violated): queried "
+                f"{self.digest[:16]} != quiet {self.quiet_digest[:16]}"
+            )
         return tuple(reasons)
 
     def to_json(self) -> Dict[str, Any]:
@@ -186,8 +212,10 @@ class FleetdChaosReport:
             "kill_switch_killed": self.kill_switch_killed,
             "frozen_after_kill": self.frozen_after_kill,
             "post_kill_refused": self.post_kill_refused,
+            "queries": self.queries,
             "digest": self.digest,
             "rerun_digest": self.rerun_digest,
+            "quiet_digest": self.quiet_digest,
             "plan_digest": self.plan_digest,
             "error": self.error,
             "failures": list(self.failures()),
@@ -219,13 +247,23 @@ def _storm_choreography(duration_ticks: int) -> Dict[str, int]:
     }
 
 
-def _run_storm(config: FleetdChaosConfig) -> Dict[str, Any]:
-    """Execute one storm; returns the canonical outcome document."""
+def _run_storm(
+    config: FleetdChaosConfig, interleave_queries: bool = True
+) -> Dict[str, Any]:
+    """Execute one storm; returns the canonical outcome document.
+
+    With ``interleave_queries`` the storm runs the full read-only
+    query surface (fleet rollup + top ranking, envelope-encoded and
+    validated) at every control round. Query bookkeeping lands under
+    ``_``-prefixed keys, which :func:`_outcome_digest` excludes — the
+    digested outcome must be identical whether or not anyone watched.
+    """
     outcome: Dict[str, Any] = {
         "error": None,
         "kill_switch_killed": 0,
         "frozen_after_kill": False,
         "post_kill_refused": False,
+        "_queries": 0,
     }
     tick_s = 1.0
     duration_ticks = int(config.duration_s / tick_s)
@@ -243,11 +281,15 @@ def _run_storm(config: FleetdChaosConfig) -> Dict[str, Any]:
     ))
     try:
         apps = ["Feed", "Web"]
+        # Two regions, so the storm also exercises region-aware wave
+        # planning (no region all-canary).
+        regions = ["east", "west"]
         host_ids = [f"h{i}" for i in range(config.hosts)]
         for i, host_id in enumerate(host_ids):
             engine.register(
                 host_id, apps[i % len(apps)],
                 size_scale=config.size_scale,
+                region=regions[i % len(regions)],
             )
 
         plan = FaultPlan.generate(
@@ -323,6 +365,7 @@ def _run_storm(config: FleetdChaosConfig) -> Dict[str, Any]:
                 engine.register(
                     deregistered, "Web",
                     size_scale=config.size_scale,
+                    region=regions[1 % len(regions)],
                 )
             elif tick == times["rollout_good2"]:
                 engine.begin_rollout(good2)
@@ -337,6 +380,20 @@ def _run_storm(config: FleetdChaosConfig) -> Dict[str, Any]:
                 except FleetdError:
                     outcome["post_kill_refused"] = True
             engine.tick()
+            if interleave_queries:
+                # The full read-only query surface, every control
+                # round: rollup + top, envelope-encoded (NaN rejection)
+                # and validated on read. Any side effect on the fleet
+                # shows up as a digest mismatch against the quiet run.
+                rollup = engine.fleet_rollup(window_s=30.0)
+                parse_fleet_rollup(
+                    json.loads(encode_envelope(rollup.to_json()))
+                )
+                top = engine.top_hosts(
+                    "psi_mem_some", n=3, window_s=30.0
+                )
+                parse_top_report(json.loads(encode_envelope(top)))
+                outcome["_queries"] += 2
 
         outcome["rollout_statuses"] = [
             r.status for r in engine.results
@@ -368,19 +425,35 @@ def _run_storm(config: FleetdChaosConfig) -> Dict[str, Any]:
 
 
 def _outcome_digest(outcome: Dict[str, Any]) -> str:
-    canonical = json.dumps(outcome, sort_keys=True, separators=(",", ":"))
+    """Canonical digest over the outcome, minus ``_`` bookkeeping keys.
+
+    The ``_``-prefixed keys (query counters) intentionally differ
+    between the queried and quiet runs; everything the fleet actually
+    *did* must digest identically.
+    """
+    digested = {
+        key: value for key, value in outcome.items()
+        if not key.startswith("_")
+    }
+    canonical = json.dumps(
+        digested, sort_keys=True, separators=(",", ":")
+    )
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def run_fleetd_chaos(config: FleetdChaosConfig) -> FleetdChaosReport:
-    """Run the storm twice and assemble its verdict.
+    """Run the storm three times and assemble its verdict.
 
     The second run is the determinism witness: both executions must
-    produce byte-identical outcome digests. Never raises for in-storm
-    failures — they land in the report.
+    produce byte-identical outcome digests. The third run is the
+    query-neutrality witness: it interleaves *zero* rollup queries and
+    must still produce the same digest — reading the fleet's metrics
+    must never mutate them. Never raises for in-storm failures — they
+    land in the report.
     """
     outcome = _run_storm(config)
     rerun = _run_storm(config)
+    quiet = _run_storm(config, interleave_queries=False)
     report = FleetdChaosReport(
         seed=config.seed,
         hosts=config.hosts,
@@ -392,10 +465,15 @@ def run_fleetd_chaos(config: FleetdChaosConfig) -> FleetdChaosReport:
         kill_switch_killed=int(outcome.get("kill_switch_killed", 0)),
         frozen_after_kill=bool(outcome.get("frozen_after_kill")),
         post_kill_refused=bool(outcome.get("post_kill_refused")),
+        queries=int(outcome.get("_queries", 0)),
         plan_digest=str(outcome.get("plan_digest", "")),
-        error=outcome.get("error") or rerun.get("error"),
+        error=(
+            outcome.get("error") or rerun.get("error")
+            or quiet.get("error")
+        ),
         digest=_outcome_digest(outcome),
         rerun_digest=_outcome_digest(rerun),
+        quiet_digest=_outcome_digest(quiet),
     )
     return report
 
@@ -414,8 +492,11 @@ def format_fleetd_chaos(report: FleetdChaosReport) -> str:
         f"  kill switch: killed {report.kill_switch_killed} "
         f"rollout(s), frozen={report.frozen_after_kill}, "
         f"post-kill refused={report.post_kill_refused}",
+        f"  queries: {report.queries} read-only rollup queries "
+        f"interleaved",
         f"  digest: {report.digest[:16]} "
-        f"(rerun {report.rerun_digest[:16]})",
+        f"(rerun {report.rerun_digest[:16]}, "
+        f"quiet {report.quiet_digest[:16]})",
     ]
     for reason in report.failures():
         lines.append(f"  !! {reason}")

@@ -13,6 +13,8 @@ import json
 import socket
 from typing import Any, Dict, List, Optional
 
+from repro.fleetd.rollup import parse_fleet_rollup, parse_top_report
+
 
 class FleetdClientError(RuntimeError):
     """The daemon refused a request or could not be reached."""
@@ -82,10 +84,11 @@ class FleetdClient:
         app: str,
         policy: Optional[Dict[str, Any]] = None,
         size_scale: float = 1.0,
+        region: str = "default",
     ) -> Dict[str, Any]:
         return self.request(
             "register", host_id=host_id, app=app, policy=policy,
-            size_scale=size_scale,
+            size_scale=size_scale, region=region,
         )["host"]
 
     def deregister(self, host_id: str) -> None:
@@ -116,6 +119,30 @@ class FleetdClient:
         return bool(
             self.request("reset-quarantine", host_id=host_id)["reset"]
         )
+
+    def metrics(self, window_s: float = 60.0) -> Dict[str, Any]:
+        """Fetch the fleet rollup envelope, validated on read."""
+        doc = self.request("metrics", window_s=window_s)["rollup"]
+        try:
+            return parse_fleet_rollup(doc)
+        except ValueError as exc:
+            raise FleetdClientError(
+                f"malformed fleet rollup from daemon: {exc}"
+            ) from exc
+
+    def top(
+        self, signal: str, n: int = 5, window_s: float = 60.0
+    ) -> Dict[str, Any]:
+        """Fetch the ranked-hosts envelope, validated on read."""
+        doc = self.request(
+            "top", signal=signal, n=n, window_s=window_s
+        )["top"]
+        try:
+            return parse_top_report(doc)
+        except ValueError as exc:
+            raise FleetdClientError(
+                f"malformed top report from daemon: {exc}"
+            ) from exc
 
     def run_ticks(self, ticks: int) -> int:
         return int(self.request("run", ticks=ticks)["tick"])

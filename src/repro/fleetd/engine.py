@@ -40,6 +40,7 @@ from repro.fleetd.registry import (
     build_fleetd_host,
 )
 from repro.fleetd.rollout import Rollout, RolloutConfig, RolloutResult
+from repro.fleetd.rollup import FleetRollup, RollupEngine
 from repro.sim.host import HostConfig
 from repro.sim.metrics import metrics_digest
 
@@ -143,11 +144,16 @@ class FleetdEngine:
         spec: Optional[PolicySpec] = None,
         size_scale: float = 1.0,
         include_tax: bool = True,
+        region: str = "default",
     ) -> HostEntry:
         """Admit a new host into the running fleet."""
         if not _HOST_ID_RE.match(host_id):
             raise RegistryError(
                 f"host id {host_id!r} must match {_HOST_ID_RE.pattern}"
+            )
+        if not _HOST_ID_RE.match(region):
+            raise RegistryError(
+                f"region {region!r} must match {_HOST_ID_RE.pattern}"
             )
         spec = spec if spec is not None else self.committed_spec
         host = build_fleetd_host(
@@ -167,6 +173,7 @@ class FleetdEngine:
             host=host,
             supervisor=supervisor,
             spec=spec,
+            region=region,
             generation=0,
             registered_tick=self.tick_index,
             epoch_s=self.now,
@@ -399,6 +406,21 @@ class FleetdEngine:
 
     # ------------------------------------------------------------------
     # observability
+
+    def fleet_rollup(self, window_s: float = 60.0) -> FleetRollup:
+        """Read-only host → region → fleet rollup (``metrics`` verb).
+
+        Digest-neutral by construction: every lookup rides the
+        recorder's non-registering path, so calling this N times
+        leaves :meth:`fleet_digest` byte-identical to never calling it.
+        """
+        return RollupEngine(self).fleet_rollup(window_s)
+
+    def top_hosts(
+        self, signal: str, n: int = 5, window_s: float = 60.0
+    ) -> Dict[str, Any]:
+        """Rank hosts by a rollup signal (``top`` verb); read-only."""
+        return RollupEngine(self).top(signal, n=n, window_s=window_s)
 
     def fleet_digest(self) -> str:
         """SHA-256 over every host's metric digest, order-independent."""

@@ -17,12 +17,17 @@ samples and reach the same verdict.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
 class HealthSample:
     """One host's metric rollup over a time window.
+
+    All reads are **non-registering** (:meth:`MetricsRecorder.get` /
+    ``read_window``): sampling a host's health never creates phantom
+    series for names the host has not recorded (a gswap host has no
+    ``senpai/degraded``), so health queries are digest-neutral.
 
     Attributes:
         psi_mem_some: mean memory ``some`` avg10 of the app container.
@@ -34,8 +39,15 @@ class HealthSample:
         quarantined: the host's supervised controller was quarantined
             inside the window (``supervisor/quarantined`` edge seen) or
             is quarantined now.
-        samples: number of metric samples backing the rollup; 0 means
-            the window saw no data and the rollup is meaningless.
+        samples: total metric samples backing the rollup; 0 means
+            the window saw no data at all and the rollup is
+            meaningless.
+        psi_mem_samples / psi_io_samples / refault_samples: per-signal
+            sample counts, so a window with only refault data cannot
+            masquerade as "has PSI data" (the pooled ``samples`` used
+            to hide exactly that). ``None`` means "not tracked" —
+            hand-built samples in tests and defaults skip the
+            per-signal gate check.
     """
 
     psi_mem_some: float = 0.0
@@ -45,6 +57,9 @@ class HealthSample:
     breaker_open: bool = False
     quarantined: bool = False
     samples: int = 0
+    psi_mem_samples: Optional[int] = None
+    psi_io_samples: Optional[int] = None
+    refault_samples: Optional[int] = None
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -55,6 +70,9 @@ class HealthSample:
             "breaker_open": self.breaker_open,
             "quarantined": self.quarantined,
             "samples": self.samples,
+            "psi_mem_samples": self.psi_mem_samples,
+            "psi_io_samples": self.psi_io_samples,
+            "refault_samples": self.refault_samples,
         }
 
 
@@ -109,7 +127,9 @@ class HealthGateConfig:
 
 
 def _window_mean(host, name: str, t0: float, t1: float) -> Tuple[float, int]:
-    window = host.metrics.series(name).window(t0, t1)
+    # Non-registering read: an unrecorded name must not create a
+    # phantom series and mutate the host's metrics digest.
+    window = host.metrics.read_window(name, t0, t1)
     n = len(window)
     return (window.mean() if n else 0.0), n
 
@@ -117,6 +137,10 @@ def _window_mean(host, name: str, t0: float, t1: float) -> Tuple[float, int]:
 def sample_host(host, cgroup: str, t0: float, t1: float,
                 quarantined_now: bool = False) -> HealthSample:
     """Roll one host's metrics up over ``[t0, t1)``.
+
+    Read-only: every lookup goes through the recorder's non-registering
+    path, so sampling a host twice leaves its metrics digest
+    byte-identical to never sampling it.
 
     ``quarantined_now`` folds in live supervisor state, so a host whose
     controller died before the window still reads as quarantined.
@@ -128,11 +152,11 @@ def sample_host(host, cgroup: str, t0: float, t1: float,
         host, f"{cgroup}/psi_io_some_avg10", t0, t1
     )
     refaults, n_ref = _window_mean(host, f"{cgroup}/refaults", t0, t1)
-    oom = host.metrics.series(f"{cgroup}/oom").window(t0, t1)
-    degraded = host.metrics.series("senpai/degraded").window(t0, t1)
-    quarantine_edges = host.metrics.series(
-        "supervisor/quarantined"
-    ).window(t0, t1)
+    oom = host.metrics.read_window(f"{cgroup}/oom", t0, t1)
+    degraded = host.metrics.read_window("senpai/degraded", t0, t1)
+    quarantine_edges = host.metrics.read_window(
+        "supervisor/quarantined", t0, t1
+    )
     return HealthSample(
         psi_mem_some=psi_mem,
         psi_io_some=psi_io,
@@ -141,6 +165,9 @@ def sample_host(host, cgroup: str, t0: float, t1: float,
         breaker_open=bool(len(degraded) and degraded.max() > 0.0),
         quarantined=bool(len(quarantine_edges)) or quarantined_now,
         samples=n_mem + n_io + n_ref,
+        psi_mem_samples=n_mem,
+        psi_io_samples=n_io,
+        refault_samples=n_ref,
     )
 
 
@@ -174,6 +201,21 @@ def evaluate_gate(
     reasons: List[str] = []
     if observed.samples == 0:
         reasons.append("no metric samples in the soak window")
+    else:
+        # Per-signal starvation: the pooled count above cannot see a
+        # window where, say, only refaults arrived — the gate would
+        # then judge pressure against a fabricated 0.0 mean. Name the
+        # starved signal instead of trusting the fabricated value.
+        for label, count in (
+            ("psi_mem_some", observed.psi_mem_samples),
+            ("psi_io_some", observed.psi_io_samples),
+            ("refault_rate", observed.refault_samples),
+        ):
+            if count == 0:
+                reasons.append(
+                    f"no {label} samples in the soak window (its 0.0 "
+                    "mean is fabricated, not observed)"
+                )
 
     def ratio_check(name: str, base: float, seen: float,
                     mult: float, floor: float) -> None:

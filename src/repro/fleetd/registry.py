@@ -42,6 +42,11 @@ class HostEntry:
     Attributes:
         host_id: the operator-chosen registry key.
         app: app-catalog profile the host runs.
+        region: operator-assigned placement label. Purely bookkeeping
+            for the query surface (rollups fold host → region → fleet)
+            and region-aware wave planning; it never reaches the
+            simulation, so two fleets differing only in region labels
+            produce identical metric digests.
         host: the live simulated server.
         supervisor: the supervisor wrapping the host's policy
             controller (also present in ``host.controllers()``).
@@ -73,6 +78,7 @@ class HostEntry:
     host: Host
     supervisor: Supervisor
     spec: PolicySpec
+    region: str = "default"
     generation: int = 0
     registered_tick: int = 0
     epoch_s: float = 0.0
@@ -91,6 +97,7 @@ class HostEntry:
         return {
             "host_id": self.host_id,
             "app": self.app,
+            "region": self.region,
             "policy": self.spec.to_json(),
             "generation": self.generation,
             "ticks": self.host.tick_count,

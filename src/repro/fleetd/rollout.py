@@ -82,20 +82,88 @@ class RolloutConfig:
 
 
 def plan_waves(
-    host_ids: Tuple[str, ...], canary_frac: float, wave_frac: float
+    host_ids: Tuple[str, ...],
+    canary_frac: float,
+    wave_frac: float,
+    regions: Optional[Mapping[str, str]] = None,
 ) -> List[List[str]]:
-    """Split target hosts into canary + follow-up waves, in order."""
-    remaining = list(host_ids)
+    """Split target hosts into canary + follow-up waves, in order.
+
+    With ``regions`` (host id -> region label) spanning more than one
+    distinct region, planning becomes region-aware: the canary draws
+    round-robin across regions (in first-appearance order) and **no
+    region is all-canary** — a multi-host region contributes at most
+    ``size - 1`` hosts to the canary and a single-host region
+    contributes none, so every region keeps at least one host on the
+    incumbent policy while the canary soaks. Follow-up waves interleave
+    the remaining hosts round-robin across regions, so each wave
+    spreads risk instead of burning one region at a time. Degenerate
+    all-single-host fleets fall back to canarying the first host (some
+    host must go first).
+
+    Without ``regions`` — or when every host shares one region — the
+    legacy order-preserving split applies, byte-identical to the
+    pre-region planner.
+    """
+    remaining = [h for h in host_ids]
     waves: List[List[str]] = []
     if not remaining:
         return waves
-    take = max(1, int(len(remaining) * canary_frac))
-    waves.append(remaining[:take])
-    remaining = remaining[take:]
-    while remaining:
-        take = max(1, int(len(remaining) * wave_frac))
+    region_of = {
+        host_id: (regions or {}).get(host_id, "default")
+        for host_id in remaining
+    }
+    ordered_regions: List[str] = []
+    for host_id in remaining:
+        if region_of[host_id] not in ordered_regions:
+            ordered_regions.append(region_of[host_id])
+    if len(ordered_regions) <= 1:
+        take = max(1, int(len(remaining) * canary_frac))
         waves.append(remaining[:take])
         remaining = remaining[take:]
+        while remaining:
+            take = max(1, int(len(remaining) * wave_frac))
+            waves.append(remaining[:take])
+            remaining = remaining[take:]
+        return waves
+    by_region = {
+        region: [h for h in remaining if region_of[h] == region]
+        for region in ordered_regions
+    }
+    canary_target = max(1, int(len(remaining) * canary_frac))
+    cap = {
+        region: max(0, len(by_region[region]) - 1)
+        for region in ordered_regions
+    }
+    taken = {region: 0 for region in ordered_regions}
+    canary: List[str] = []
+    progressed = True
+    while len(canary) < canary_target and progressed:
+        progressed = False
+        for region in ordered_regions:
+            if len(canary) >= canary_target:
+                break
+            if taken[region] < cap[region]:
+                canary.append(by_region[region][taken[region]])
+                taken[region] += 1
+                progressed = True
+    if not canary:
+        canary = [remaining[0]]
+    in_canary = set(canary)
+    pending = {
+        region: [h for h in by_region[region] if h not in in_canary]
+        for region in ordered_regions
+    }
+    rest: List[str] = []
+    while any(pending.values()):
+        for region in ordered_regions:
+            if pending[region]:
+                rest.append(pending[region].pop(0))
+    waves.append(canary)
+    while rest:
+        take = max(1, int(len(rest) * wave_frac))
+        waves.append(rest[:take])
+        rest = rest[take:]
     return waves
 
 
@@ -213,6 +281,10 @@ class Rollout:
             tuple(self.host_ids),
             self.config.canary_frac,
             self.config.wave_frac,
+            regions={
+                host_id: registry.get(host_id).region
+                for host_id in self.host_ids
+            },
         )
         if not self._waves:
             self.result.status = "succeeded"

@@ -30,6 +30,7 @@ from typing import Any, Dict, Optional
 from repro.fleetd.engine import FleetdEngine, FleetdError
 from repro.fleetd.policy import PolicyError, PolicySpec
 from repro.fleetd.registry import RegistryError
+from repro.fleetd.rollup import RollupError
 
 #: Hard cap on one request line (a malformed client must not OOM the
 #: daemon).
@@ -141,7 +142,18 @@ class FleetdServer:
             response = self._dispatch(request)
         except (ValueError, KeyError, TypeError) as exc:
             response = {"ok": False, "error": str(exc)}
-        conn.sendall(json.dumps(response).encode("utf-8") + b"\n")
+        try:
+            # NaN-free wire discipline: the bare ``NaN`` token is
+            # invalid JSON; a response carrying one is a server bug
+            # surfaced as an error, not shipped for the client to choke
+            # on.
+            encoded = json.dumps(response, allow_nan=False)
+        except ValueError as exc:
+            encoded = json.dumps({
+                "ok": False,
+                "error": f"response carried a non-finite number: {exc}",
+            })
+        conn.sendall(encoded.encode("utf-8") + b"\n")
 
     # ------------------------------------------------------------------
 
@@ -157,7 +169,8 @@ class FleetdServer:
         try:
             with self._lock:
                 return {"ok": True, **handler(self, request)}
-        except (FleetdError, RegistryError, PolicyError) as exc:
+        except (FleetdError, RegistryError, PolicyError,
+                RollupError) as exc:
             return {"ok": False, "error": str(exc)}
 
     # -- command handlers (called with the engine lock held) -----------
@@ -178,6 +191,7 @@ class FleetdServer:
             spec=spec,
             size_scale=float(request.get("size_scale", 1.0)),
             include_tax=bool(request.get("include_tax", True)),
+            region=str(request.get("region", "default")),
         )
         return {"host": entry.status()}
 
@@ -211,6 +225,20 @@ class FleetdServer:
             "reset": self.engine.reset_quarantine(request["host_id"])
         }
 
+    def _cmd_metrics(self, request) -> Dict[str, Any]:
+        # Read-only: the rollup engine only touches non-registering
+        # metric reads, so serving this verb never changes the fleet
+        # digest a concurrent chaos/crash-equivalence check computes.
+        window_s = float(request.get("window_s", 60.0))
+        return {"rollup": self.engine.fleet_rollup(window_s).to_json()}
+
+    def _cmd_top(self, request) -> Dict[str, Any]:
+        return {"top": self.engine.top_hosts(
+            request["signal"],
+            n=int(request.get("n", 5)),
+            window_s=float(request.get("window_s", 60.0)),
+        )}
+
     def _cmd_run(self, request) -> Dict[str, Any]:
         # Synchronous extra ticks: lets tests and the smoke harness
         # advance simulated time deterministically faster than the
@@ -236,6 +264,8 @@ _COMMANDS = {
     "rollback": FleetdServer._cmd_rollback,
     "kill-switch": FleetdServer._cmd_kill_switch,
     "reset-quarantine": FleetdServer._cmd_reset_quarantine,
+    "metrics": FleetdServer._cmd_metrics,
+    "top": FleetdServer._cmd_top,
     "run": FleetdServer._cmd_run,
     "stop": FleetdServer._cmd_stop,
 }

@@ -202,8 +202,14 @@ def default_config() -> LintConfig:
                 "read_sink_suffixes": (
                     "repro.sim.metrics.MetricsRecorder.series",
                     "repro.sim.metrics.MetricsRecorder.summary",
+                    "repro.sim.metrics.MetricsRecorder.get",
+                    "repro.sim.metrics.MetricsRecorder.read_window",
                 ),
-                "read_method_names": ("series", "summary"),
+                # "read_window" is distinctive; bare "get" is not
+                # (every dict has one), so `get` reads only count when
+                # the receiver resolves to MetricsRecorder above.
+                "read_method_names": ("series", "summary",
+                                      "read_window"),
             },
         },
     )

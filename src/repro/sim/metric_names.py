@@ -20,6 +20,12 @@ Adding a metric is a three-line workflow (see LINTING.md):
 
 Names without a ``/`` are ad-hoc local recorders (scratch series in
 tests and analyses) and are out of the registry's scope.
+
+The fleetd query surface (:mod:`repro.fleetd.rollup`) records
+**nothing**: it reduces already-declared series (the PSI/refault/
+offload families below) through the recorder's non-registering read
+path, so no rollup-side names belong here — the registry stays the
+record-side contract.
 """
 
 from __future__ import annotations

@@ -175,6 +175,13 @@ class MetricsRecorder:
         The returned series is always the recorder's own: a ``record()``
         on it is visible to later fetches, rather than vanishing into a
         detached throwaway object.
+
+        This is the *write-side* fetch: asking for an unknown name
+        creates it, which changes :func:`metrics_digest`. Query paths
+        (health gates, fleet rollups, status surfaces) must use
+        :meth:`get` or :meth:`read_window` instead, so that observing a
+        live host never perturbs the digests the chaos verdicts and
+        crash-equivalence checks hang on.
         """
         series = self._series.get(name)
         if series is None:
@@ -182,16 +189,53 @@ class MetricsRecorder:
             self._series[name] = series
         return series
 
+    def get(self, name: str) -> Optional[Series]:
+        """Fetch a series by name *without* registering it.
+
+        The read-side counterpart of :meth:`series`: an unknown name
+        returns ``None`` and leaves the recorder untouched, so query
+        paths are digest-neutral (query-twice == query-never).
+        """
+        return self._series.get(name)
+
+    def read_window(self, name: str, start: float, end: float) -> Series:
+        """Non-registering windowed read: ``start <= t < end``.
+
+        An unknown name yields an empty *detached* series (recording on
+        it does not reach this recorder) instead of registering a
+        phantom empty series the way ``series(name).window(...)`` would.
+        """
+        series = self._series.get(name)
+        if series is None:
+            return Series(name)
+        return series.window(start, end)
+
     def names(self) -> Iterable[str]:
         return self._series.keys()
 
     def __contains__(self, name: str) -> bool:
         return name in self._series
 
-    def summary(self, names: Optional[Iterable[str]] = None) -> Dict[str, float]:
-        """Mean of each requested series (all series by default)."""
+    def summary(
+        self, names: Optional[Iterable[str]] = None
+    ) -> Dict[str, Optional[float]]:
+        """Mean of each requested series (all series by default).
+
+        Read-only: unknown names are *not* registered (they used to
+        leave phantom empty series behind, silently mutating
+        :func:`metrics_digest` from a query path). Unknown or empty
+        series map to ``None`` — JSON-safe ``null`` — never to the
+        bare ``NaN`` token, which is invalid JSON on the wire.
+        """
         wanted = list(names) if names is not None else list(self._series)
-        return {name: self.series(name).mean() for name in wanted}
+        out: Dict[str, Optional[float]] = {}
+        for name in wanted:
+            series = self._series.get(name)
+            out[name] = (
+                series.mean() if series is not None and len(series)
+                else None
+            )
+        return out
 
 
 def metrics_digest(metrics: MetricsRecorder) -> str:

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.sim.metrics import MetricsRecorder, Series
+from repro.sim.metrics import MetricsRecorder, Series, metrics_digest
 
 
 def test_series_records_in_order():
@@ -97,3 +97,105 @@ def test_recorder_summary():
     summary = rec.summary(["a"])
     assert summary == {"a": pytest.approx(3.0)}
     assert set(rec.summary()) == {"a", "b"}
+
+
+# ----------------------------------------------------------------------
+# window boundary semantics
+
+
+def test_window_is_half_open_on_duplicate_boundary_timestamps():
+    """Half-open [start, end): duplicates exactly at ``start`` are all
+    included, duplicates exactly at ``end`` are all excluded."""
+    s = Series("x")
+    for t, v in [(0.0, 0.0), (1.0, 1.0), (1.0, 2.0), (2.0, 3.0),
+                 (3.0, 4.0), (3.0, 5.0), (4.0, 6.0)]:
+        s.record(t, v)
+    w = s.window(1.0, 3.0)
+    assert w.times == [1.0, 1.0, 2.0]
+    assert w.values == [1.0, 2.0, 3.0]
+
+
+def test_window_empty_when_range_is_before_after_or_degenerate():
+    s = Series("x")
+    for t in range(3):
+        s.record(float(t), float(t))
+    assert len(s.window(-5.0, 0.0)) == 0   # all before first sample
+    assert len(s.window(2.5, 9.0)) == 0    # all after last sample
+    assert len(s.window(1.0, 1.0)) == 0    # degenerate [t, t)
+    assert len(s.window(3.0, 1.0)) == 0    # inverted range
+
+
+def test_window_on_empty_series_is_empty():
+    assert len(Series("x").window(0.0, 10.0)) == 0
+
+
+# ----------------------------------------------------------------------
+# the non-registering read path (query-side digest neutrality)
+
+
+def test_get_does_not_register_unknown_names():
+    rec = MetricsRecorder()
+    rec.record("a", 0.0, 1.0)
+    assert rec.get("missing") is None
+    assert "missing" not in rec
+    assert rec.get("a") is rec.series("a")
+
+
+def test_read_window_does_not_register_and_detaches_unknowns():
+    rec = MetricsRecorder()
+    rec.record("a", 0.0, 1.0)
+    rec.record("a", 5.0, 2.0)
+    assert rec.read_window("a", 0.0, 1.0).values == [1.0]
+    ghost = rec.read_window("missing", 0.0, 10.0)
+    assert len(ghost) == 0
+    assert "missing" not in rec
+    ghost.record(0.0, 1.0)  # detached: must not reach the recorder
+    assert "missing" not in rec
+
+
+def test_summary_does_not_register_phantom_series():
+    """Regression: ``summary(names=[...])`` used to call ``series()``
+    and register an empty series per unknown name, mutating the
+    metrics digest from a pure read path."""
+    rec = MetricsRecorder()
+    rec.record("a", 0.0, 2.0)
+    before = metrics_digest(rec)
+    summary = rec.summary(["a", "never_recorded"])
+    assert summary == {"a": pytest.approx(2.0), "never_recorded": None}
+    assert "never_recorded" not in rec
+    assert metrics_digest(rec) == before
+
+
+def test_summary_empty_series_is_none_not_nan():
+    """An empty registered series must summarize as ``None`` (JSON
+    null), never as NaN — the socket protocol forbids the bare NaN
+    token."""
+    rec = MetricsRecorder()
+    rec.series("registered_but_empty")
+    summary = rec.summary()
+    assert summary == {"registered_but_empty": None}
+    assert not any(
+        isinstance(v, float) and math.isnan(v)
+        for v in summary.values()
+    )
+
+
+def test_query_twice_equals_query_never():
+    """The digest-neutrality contract behind the fleetd query surface:
+    any amount of get/read_window/summary traffic leaves the digest
+    byte-identical to an unqueried twin recorder."""
+    def build():
+        rec = MetricsRecorder()
+        for t in range(10):
+            rec.record("app/psi_mem_some_avg10", float(t), 0.1 * t)
+        return rec
+
+    queried, quiet = build(), build()
+    for _ in range(2):
+        queried.get("app/psi_mem_some_avg10")
+        queried.get("never_recorded")
+        queried.read_window("app/psi_mem_some_avg10", 2.0, 7.0)
+        queried.read_window("senpai/degraded", 0.0, 10.0)
+        queried.summary(["app/psi_mem_some_avg10", "missing"])
+        queried.summary()
+    assert metrics_digest(queried) == metrics_digest(quiet)
